@@ -1,0 +1,47 @@
+"""Figure 7 — index-creation time by method and core count.
+
+The paper reports mean index-construction time over the 17 datasets for FAISS,
+MESSI and SOFA at 9, 18 and 36 cores, broken into bin learning, transformation
+and tree-building phases, and observes that SOFA pays a summarization overhead
+(DFT + learned bins) over MESSI.  This benchmark reproduces that breakdown with
+virtual cores replayed from measured single-threaded phase costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import CORE_COUNTS, report
+
+from repro.evaluation.reporting import format_table
+
+
+def test_fig07_index_creation(workload_1nn, benchmark_suite, workload_runner, benchmark):
+    rows = []
+    for cores in CORE_COUNTS:
+        for method in ("FAISS", "MESSI", "SOFA"):
+            records = [record for record in workload_1nn.build_records
+                       if record.method == method and record.cores == cores]
+            rows.append([
+                cores, method,
+                1000.0 * float(np.mean([record.learn_time for record in records])),
+                1000.0 * float(np.mean([record.transform_time for record in records])),
+                1000.0 * float(np.mean([record.tree_time for record in records])),
+                1000.0 * float(np.mean([record.total_time for record in records])),
+            ])
+
+    report("Figure 7 — mean index-creation time (ms) by phase and core count",
+           format_table(
+               ["cores", "method", "learn bins", "transform", "tree/build", "total"],
+               rows, float_format="{:.2f}"))
+
+    def total(method, cores):
+        return next(row[5] for row in rows if row[0] == cores and row[1] == method)
+
+    # SOFA pays a summarization overhead over MESSI (learned bins + DFT), as in
+    # the paper; both remain the same order of magnitude.
+    for cores in CORE_COUNTS:
+        assert total("SOFA", cores) >= total("MESSI", cores) * 0.8
+
+    index_set = benchmark_suite["ETHZ"][0]
+    benchmark(lambda: workload_runner.make_method("SOFA").build(index_set))

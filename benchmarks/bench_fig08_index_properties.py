@@ -1,0 +1,58 @@
+"""Figure 8 — structural properties of the MESSI and SOFA indexes.
+
+The paper compares average tree depth, average leaf fill and the number of
+root subtrees between MESSI and SOFA and finds them broadly similar (SOFA
+slightly deeper, slightly emptier leaves).  This benchmark reports the same
+three statistics averaged over the benchmark datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import report
+
+from repro.evaluation.reporting import format_table
+from repro.index.messi import MessiIndex
+from repro.index.sofa import SofaIndex
+from repro.index.stats import compute_structure_stats
+
+
+def test_fig08_index_properties(sweep_suite, benchmark):
+    # A smaller leaf capacity than the query benchmarks use, so that node
+    # splits actually happen at reproduction scale and depth/fill are
+    # meaningful (the paper uses 20k-series leaves on 100M-series datasets).
+    leaf_size = 16
+    per_method = {"MESSI": [], "SOFA": []}
+    for name, (index_set, _) in sweep_suite.items():
+        messi = MessiIndex(leaf_size=leaf_size).build(index_set)
+        sofa = SofaIndex(leaf_size=leaf_size).build(index_set)
+        per_method["MESSI"].append(compute_structure_stats(messi.tree))
+        per_method["SOFA"].append(compute_structure_stats(sofa.tree))
+
+    rows = []
+    for method, stats_list in per_method.items():
+        rows.append([
+            method,
+            float(np.mean([stats.average_depth for stats in stats_list])),
+            float(np.mean([stats.max_depth for stats in stats_list])),
+            float(np.mean([stats.average_leaf_size for stats in stats_list])),
+            float(np.mean([stats.num_subtrees for stats in stats_list])),
+            float(np.mean([stats.num_leaves for stats in stats_list])),
+        ])
+
+    report("Figure 8 — index structure (mean over datasets)",
+           format_table(
+               ["method", "avg depth", "max depth", "avg leaf size",
+                "root subtrees", "leaves"],
+               rows))
+
+    # Both indexes must have comparable structure (within an order of magnitude).
+    messi_row = next(row for row in rows if row[0] == "MESSI")
+    sofa_row = next(row for row in rows if row[0] == "SOFA")
+    assert 0.1 < sofa_row[1] / messi_row[1] < 10.0
+    assert 0.1 < sofa_row[3] / messi_row[3] < 10.0
+
+    index_set = next(iter(sweep_suite.values()))[0]
+    sofa = SofaIndex(leaf_size=leaf_size).build(index_set)
+    benchmark(lambda: compute_structure_stats(sofa.tree))

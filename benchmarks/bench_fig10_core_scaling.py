@@ -1,0 +1,55 @@
+"""Figure 10 — distribution of 1-NN query times across datasets by core count.
+
+The paper's box plots show that SOFA has the lowest median query time at every
+core count, that the tree indexes have a wide spread across datasets (easy
+high-frequency datasets versus hard ones), and that the scan baselines are
+tightly clustered.  This benchmark reports the quartiles of the per-dataset
+mean query times for each method and core count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import CORE_COUNTS, report
+
+from repro.evaluation.reporting import format_table
+from repro.index.messi import MessiIndex
+
+
+def _per_dataset_means(workload, method, cores):
+    means = {}
+    for record in workload.query_records:
+        if record.method == method and record.cores == cores and record.k == 1:
+            means[record.dataset] = 1000.0 * record.mean_time
+    return np.array(list(means.values()))
+
+
+def test_fig10_core_scaling(workload_1nn, benchmark_suite, benchmark):
+    rows = []
+    medians = {}
+    spreads = {}
+    for method in ("FAISS", "MESSI", "SOFA", "UCR-SUITE"):
+        for cores in CORE_COUNTS:
+            times = _per_dataset_means(workload_1nn, method, cores)
+            quartiles = np.percentile(times, [25, 50, 75])
+            medians[(method, cores)] = quartiles[1]
+            spreads[(method, cores)] = (np.max(times) / max(np.min(times), 1e-9))
+            rows.append([method, cores, float(times.min()), float(quartiles[0]),
+                         float(quartiles[1]), float(quartiles[2]), float(times.max())])
+
+    report("Figure 10 — per-dataset 1-NN query time distribution (ms)",
+           format_table(["method", "cores", "min", "q25", "median", "q75", "max"],
+                        rows, float_format="{:.2f}"))
+
+    # Paper shape: SOFA has the lowest median everywhere; tree indexes show a
+    # wider spread across datasets than the scan baselines.
+    for cores in CORE_COUNTS:
+        assert medians[("SOFA", cores)] <= medians[("MESSI", cores)]
+        assert medians[("SOFA", cores)] <= medians[("UCR-SUITE", cores)]
+        assert max(spreads[("SOFA", cores)], spreads[("MESSI", cores)]) >= \
+            spreads[("UCR-SUITE", cores)] * 0.5
+
+    index_set, queries = benchmark_suite["SCEDC"]
+    messi = MessiIndex(leaf_size=100).build(index_set)
+    benchmark(lambda: messi.nearest_neighbor(queries[0]))

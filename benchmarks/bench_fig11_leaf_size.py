@@ -1,0 +1,63 @@
+"""Figure 11 — 1-NN query time as a function of the leaf size.
+
+The paper sweeps the leaf capacity and finds that query times drop with larger
+leaves and plateau, with SOFA (both equi-width and equi-depth binning) below
+MESSI throughout.  This benchmark reproduces the sweep on a high-frequency
+dataset with scaled-down leaf sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import report
+
+from repro.evaluation.reporting import format_table
+from repro.index.messi import MessiIndex
+from repro.index.sofa import SofaIndex
+
+LEAF_SIZES = (10, 25, 50, 100, 200)
+
+
+def _mean_query_seconds(index, queries) -> float:
+    import time
+
+    times = []
+    for query in queries.values:
+        start = time.perf_counter()
+        index.nearest_neighbor(query)
+        times.append(time.perf_counter() - start)
+    return float(np.mean(times))
+
+
+def test_fig11_leaf_size(sweep_suite, benchmark):
+    index_set, queries = sweep_suite["SCEDC"]
+    rows = []
+    curves = {"MESSI": [], "SOFA + EW": [], "SOFA + ED": []}
+    for leaf_size in LEAF_SIZES:
+        methods = {
+            "MESSI": MessiIndex(leaf_size=leaf_size),
+            "SOFA + EW": SofaIndex(leaf_size=leaf_size, binning="equi-width"),
+            "SOFA + ED": SofaIndex(leaf_size=leaf_size, binning="equi-depth"),
+        }
+        row = [leaf_size]
+        for label, index in methods.items():
+            index.build(index_set)
+            mean_ms = 1000.0 * _mean_query_seconds(index, queries)
+            curves[label].append(mean_ms)
+            row.append(mean_ms)
+        rows.append(row)
+
+    report("Figure 11 — mean 1-NN query time (ms) by leaf size (SCEDC stand-in)",
+           format_table(["leaf size", "MESSI", "SOFA + EW", "SOFA + ED"], rows,
+                        float_format="{:.2f}"))
+
+    # Paper shape: both SOFA variants stay below MESSI across the sweep, and
+    # the largest leaf size is not slower than the smallest by much (plateau).
+    for label in ("SOFA + EW", "SOFA + ED"):
+        assert np.mean(curves[label]) <= np.mean(curves["MESSI"])
+    for label, values in curves.items():
+        assert values[-1] <= 3.0 * values[0] + 1.0
+
+    sofa = SofaIndex(leaf_size=100).build(index_set)
+    benchmark(lambda: sofa.nearest_neighbor(queries[0]))

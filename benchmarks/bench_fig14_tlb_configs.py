@@ -1,0 +1,47 @@
+"""Figure 14 — TLB of all five ablation variants across configurations.
+
+Figure 14 plots the TLB of iSAX and the four SFA variants (equi-depth /
+equi-width, with and without variance-based selection) over the configuration
+grid on both benchmarks and shows SFA EW +VAR on top.  This benchmark reports
+the mean TLB of all five variants over a grid of alphabet sizes on the
+UCR-like suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import report
+
+from repro.datasets.ucr import generate_ucr_like_suite
+from repro.evaluation.reporting import format_table
+from repro.evaluation.tlb import ABLATION_METHODS, mean_tlb_table, tlb_study
+
+ALPHABETS = (8, 32, 128)
+
+
+def test_fig14_tlb_all_variants(benchmark):
+    suite = generate_ucr_like_suite(num_datasets=14, train_size=100, test_size=12)
+    datasets = {entry.name: (entry.train, entry.test) for entry in suite}
+    records = tlb_study(datasets, alphabet_sizes=ALPHABETS, methods=ABLATION_METHODS,
+                        word_length=16, max_pairs_per_query=50)
+    table = mean_tlb_table(records)
+
+    rows = []
+    overall = {}
+    for method in ABLATION_METHODS:
+        values = [table[method][alphabet] for alphabet in ALPHABETS]
+        overall[method] = float(np.mean(values))
+        rows.append([method] + values + [overall[method]])
+    rows.sort(key=lambda row: row[-1], reverse=True)
+
+    report("Figure 14 — mean TLB of all five variants (UCR-like suite)",
+           format_table(["method"] + [str(a) for a in ALPHABETS] + ["mean"], rows))
+
+    # Paper shape: every SFA variant beats iSAX, and variance selection does
+    # not hurt the equi-width variant.
+    assert all(overall[method] > overall["iSAX"] for method in ABLATION_METHODS
+               if method != "iSAX")
+    assert overall["SFA EW +VAR"] >= overall["SFA EW"] - 0.02
+
+    benchmark(lambda: mean_tlb_table(records))

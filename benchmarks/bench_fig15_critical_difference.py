@@ -1,0 +1,43 @@
+"""Figure 15 — critical-difference analysis of the TLB ranks.
+
+The paper compares the five summarization variants with a critical-difference
+diagram (average ranks, Wilcoxon–Holm cliques at alpha = 0.05) and finds
+SFA EW +VAR significantly ahead and iSAX last on both benchmarks.  This
+benchmark reproduces the rank analysis on the UCR-like suite.
+"""
+
+from __future__ import annotations
+
+from common import report
+
+from repro.datasets.ucr import generate_ucr_like_suite
+from repro.evaluation.ranks import critical_difference
+from repro.evaluation.reporting import format_table
+from repro.evaluation.tlb import ABLATION_METHODS, tlb_study
+
+
+def test_fig15_critical_difference(benchmark):
+    suite = generate_ucr_like_suite(num_datasets=21, train_size=100, test_size=12)
+    datasets = {entry.name: (entry.train, entry.test) for entry in suite}
+    records = tlb_study(datasets, alphabet_sizes=(256,), methods=ABLATION_METHODS,
+                        word_length=16, max_pairs_per_query=50)
+
+    scores: dict[str, list[float]] = {method: [] for method in ABLATION_METHODS}
+    for record in records:
+        scores[record.method].append(record.tlb)
+
+    result = critical_difference(scores, alpha=0.05)
+    rows = [[method, result.average_ranks[method]] for method in result.ordered_methods()]
+    clique_text = "; ".join(" ~ ".join(clique) for clique in result.cliques) or "(none)"
+    report("Figure 15 — average TLB ranks (alphabet 256, lower rank is better); "
+           f"Friedman p = {result.friedman_pvalue:.2e}; cliques: {clique_text}",
+           format_table(["method", "average rank"], rows))
+
+    # Paper shape: an SFA variant ranks first, iSAX ranks last, and the
+    # Friedman test finds a significant difference.
+    ordered = result.ordered_methods()
+    assert ordered[0].startswith("SFA")
+    assert ordered[-1] == "iSAX"
+    assert result.friedman_pvalue < 0.05
+
+    benchmark(lambda: critical_difference(scores, alpha=0.05))

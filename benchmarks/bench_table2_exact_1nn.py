@@ -1,0 +1,49 @@
+"""Table II — mean and median 1-NN query time per method and core count.
+
+The paper's headline result: over the 17-dataset mixed workload SOFA answers
+exact 1-NN queries fastest at every core count, MESSI second among the index
+methods, FAISS in between, and the UCR-suite scan an order of magnitude slower.
+This benchmark reproduces the table with simulated core counts on the
+scaled-down datasets; absolute milliseconds differ from the paper's server, but
+the method ordering is asserted.
+"""
+
+from __future__ import annotations
+
+from common import CORE_COUNTS, report
+
+from repro.evaluation.reporting import format_table
+from repro.evaluation.workloads import METHODS
+from repro.index.sofa import SofaIndex
+
+
+def test_table2_exact_1nn(workload_1nn, benchmark_suite, benchmark):
+    rows = []
+    summary = {}
+    for method in ("FAISS", "MESSI", "SOFA", "UCR-SUITE"):
+        for cores in CORE_COUNTS:
+            timings = workload_1nn.mean_query_times(method, cores, k=1)
+            stats = timings.as_milliseconds()
+            summary[(method, cores)] = stats
+            rows.append([method, cores, stats["median_ms"], stats["mean_ms"]])
+
+    report("Table II — 1-NN query times (ms) over the 17-dataset mixed workload",
+           format_table(["method", "cores", "median", "mean"], rows,
+                        float_format="{:.2f}"))
+
+    # Paper shape: SOFA is faster than MESSI and than the UCR-suite scan at
+    # every core count.  (The paper also beats FAISS; at reproduction scale the
+    # BLAS-backed brute force has almost no per-query overhead, so that margin
+    # is not asserted — see EXPERIMENTS.md.)
+    for cores in CORE_COUNTS:
+        sofa = summary[("SOFA", cores)]["mean_ms"]
+        assert sofa <= summary[("MESSI", cores)]["mean_ms"]
+        assert sofa <= summary[("UCR-SUITE", cores)]["mean_ms"]
+
+    # All methods answered every query exactly (verified against each other by
+    # the test suite); here we only check the records exist for all methods.
+    assert {record.method for record in workload_1nn.query_records} == set(METHODS)
+
+    index_set, queries = benchmark_suite["LenDB"]
+    sofa = SofaIndex(leaf_size=100).build(index_set)
+    benchmark(lambda: sofa.nearest_neighbor(queries[0]))

@@ -1,0 +1,41 @@
+"""Table III and Figure 9 — k-NN query times at 36 cores.
+
+The paper reports median query times for k ∈ {1, 3, 5, 10, 20, 50} on 36 cores
+and observes that SOFA stays fastest and that all methods scale gracefully with
+k.  This benchmark reproduces the same sweep on the sweep-dataset subset.
+"""
+
+from __future__ import annotations
+
+from common import report
+
+from repro.evaluation.reporting import format_table
+from repro.index.sofa import SofaIndex
+
+K_VALUES = (1, 3, 5, 10, 20, 50)
+
+
+def test_table3_knn(workload_knn, sweep_suite, benchmark):
+    cores = 36
+    table = {}
+    for method in ("FAISS", "MESSI", "SOFA"):
+        for k in K_VALUES:
+            timings = workload_knn.mean_query_times(method, cores, k=k)
+            table[(method, k)] = timings.as_milliseconds()["median_ms"]
+
+    rows = [[method] + [table[(method, k)] for k in K_VALUES]
+            for method in ("FAISS", "MESSI", "SOFA")]
+    report("Table III / Figure 9 — median k-NN query times (ms, 36 cores)",
+           format_table(["method"] + [f"{k}-NN" for k in K_VALUES], rows,
+                        float_format="{:.2f}"))
+
+    # Paper shape: SOFA is fastest for every k, and no method blows up with k
+    # (50-NN stays within a small factor of 1-NN).
+    for k in K_VALUES:
+        assert table[("SOFA", k)] <= table[("MESSI", k)]
+    for method in ("FAISS", "MESSI", "SOFA"):
+        assert table[(method, 50)] <= 25.0 * max(table[(method, 1)], 1e-3)
+
+    index_set, queries = sweep_suite["LenDB"]
+    sofa = SofaIndex(leaf_size=100).build(index_set)
+    benchmark(lambda: sofa.knn(queries[0], k=10))

@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper.  The
+measured numbers are rendered as plain-text tables; because pytest captures
+stdout, the tables are collected here and emitted from a
+``pytest_terminal_summary`` hook (see ``conftest.py``) so they always appear in
+the benchmark transcript (``bench_output.txt``).
+
+Scale knobs: the environment variables ``REPRO_BENCH_SERIES`` and
+``REPRO_BENCH_QUERIES`` control how many series per dataset and how many
+queries per dataset the harness uses (defaults keep the whole suite at a few
+minutes on a laptop).  Absolute times are therefore not comparable with the
+paper's 100M-series server runs; the *relative* behaviour (who wins, by how
+much, where crossovers happen) is what the harness reproduces.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Registry of (title, text) report blocks printed in the terminal summary.
+_REPORTS: list[tuple[str, str]] = []
+
+
+def report(title: str, text: str) -> None:
+    """Queue a formatted table for the end-of-run benchmark report."""
+    _REPORTS.append((title, text))
+
+
+def collected_reports() -> list[tuple[str, str]]:
+    return list(_REPORTS)
+
+
+def bench_num_series() -> int:
+    """Number of series per benchmark dataset (paper: 0.5M - 100M, scaled down)."""
+    return int(os.environ.get("REPRO_BENCH_SERIES", "4000"))
+
+
+def bench_num_queries() -> int:
+    """Number of queries per dataset (paper: 100, scaled down)."""
+    return int(os.environ.get("REPRO_BENCH_QUERIES", "10"))
+
+
+def bench_leaf_size() -> int:
+    """Leaf capacity used by the tree indexes (paper: 20000, scaled down)."""
+    return int(os.environ.get("REPRO_BENCH_LEAF_SIZE", "100"))
+
+
+#: Core counts simulated in the scaling experiments (as in the paper).
+CORE_COUNTS = (9, 18, 36)
+
+#: The subset of datasets used by the more expensive sweeps (k-NN, leaf size,
+#: sampling) so the full harness stays laptop-sized; the 1-NN and TLB studies
+#: cover all 17 datasets.
+SWEEP_DATASETS = ("LenDB", "SCEDC", "ETHZ", "SALD", "SIFT1b", "Astro")

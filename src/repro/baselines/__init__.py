@@ -1,0 +1,15 @@
+"""Exact-search baselines: plain scan, UCR Suite-P analogue, FAISS FlatL2 analogue."""
+
+from repro.baselines.flatl2 import BatchSearchResult, BatchSearchStats, FlatL2Index
+from repro.baselines.serial_scan import SerialScan
+from repro.baselines.ucr_suite import ScanResult, ScanStats, UcrSuiteScan
+
+__all__ = [
+    "BatchSearchResult",
+    "BatchSearchStats",
+    "FlatL2Index",
+    "ScanResult",
+    "ScanStats",
+    "SerialScan",
+    "UcrSuiteScan",
+]

@@ -1,0 +1,55 @@
+"""Core substrate: series containers, distances, SIMD-style kernels, metrics."""
+
+from repro.core.distance import (
+    euclidean,
+    pairwise_squared_euclidean,
+    squared_euclidean,
+    squared_euclidean_batch,
+    squared_euclidean_early_abandon,
+    znormalized_euclidean,
+)
+from repro.core.errors import (
+    DatasetError,
+    InvalidParameterError,
+    NotFittedError,
+    ReproError,
+    SearchError,
+)
+from repro.core.lower_bounds import (
+    check_lower_bound_property,
+    pruning_power,
+    tightness_of_lower_bound,
+)
+from repro.core.normalization import is_znormalized, znormalize, znormalize_batch
+from repro.core.series import Dataset
+from repro.core.simd import (
+    batch_lower_bound,
+    chunked_masked_lower_bound,
+    scalar_lower_bound,
+    vectorized_lower_bound,
+)
+
+__all__ = [
+    "Dataset",
+    "DatasetError",
+    "InvalidParameterError",
+    "NotFittedError",
+    "ReproError",
+    "SearchError",
+    "batch_lower_bound",
+    "check_lower_bound_property",
+    "chunked_masked_lower_bound",
+    "euclidean",
+    "is_znormalized",
+    "pairwise_squared_euclidean",
+    "pruning_power",
+    "scalar_lower_bound",
+    "squared_euclidean",
+    "squared_euclidean_batch",
+    "squared_euclidean_early_abandon",
+    "tightness_of_lower_bound",
+    "vectorized_lower_bound",
+    "znormalize",
+    "znormalize_batch",
+    "znormalized_euclidean",
+]

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so user
+code can catch library failures with a single ``except`` clause while still
+letting programming errors (``TypeError`` and friends) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class NotFittedError(ReproError):
+    """Raised when a learned component is used before ``fit`` was called."""
+
+
+class InvalidParameterError(ReproError):
+    """Raised when a constructor or method receives an invalid parameter."""
+
+
+class DatasetError(ReproError):
+    """Raised for malformed or incompatible dataset inputs."""
+
+
+class IndexError_(ReproError):
+    """Raised for index construction or query failures.
+
+    The trailing underscore avoids shadowing the built-in ``IndexError`` while
+    keeping the name recognisable in tracebacks.
+    """
+
+
+class SearchError(ReproError):
+    """Raised when a similarity-search query cannot be answered."""

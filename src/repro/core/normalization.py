@@ -1,0 +1,73 @@
+"""z-normalization utilities for data series.
+
+The paper (like all prior work on exact data-series similarity search) uses
+the z-normalized Euclidean distance.  In practice every series is normalised
+once to zero mean and unit standard deviation, after which the plain Euclidean
+distance between normalised series equals the z-normalized distance between
+the originals.
+
+Constant (zero-variance) series are mapped to the all-zero series, the common
+convention in the UCR suite and the MESSI code base: a flat series carries no
+shape information, and mapping it to zero keeps distances finite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Relative threshold below which a standard deviation is treated as zero.
+#: The comparison is relative to the magnitude of the values so that constant
+#: series with large absolute values (whose computed std is rounding noise)
+#: are still recognised as constant.
+_EPSILON = 1e-8
+
+
+def znormalize(series: np.ndarray, epsilon: float = _EPSILON) -> np.ndarray:
+    """Return a z-normalized copy of a single 1-D series.
+
+    Parameters
+    ----------
+    series:
+        One-dimensional array of real values.
+    epsilon:
+        Relative threshold: standard deviations smaller than
+        ``epsilon * max(1, |mean|)`` are treated as zero, in which case the
+        normalised series is all zeros.
+    """
+    values = np.asarray(series, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError(f"expected a 1-D series, got shape {values.shape}")
+    mean = values.mean()
+    std = values.std()
+    if std <= epsilon * max(1.0, abs(mean)):
+        return np.zeros_like(values)
+    return (values - mean) / std
+
+
+def znormalize_batch(series: np.ndarray, epsilon: float = _EPSILON) -> np.ndarray:
+    """Return a z-normalized copy of a batch of series (one per row)."""
+    values = np.asarray(series, dtype=np.float64)
+    if values.ndim != 2:
+        raise ValueError(f"expected a 2-D array of series, got shape {values.shape}")
+    means = values.mean(axis=1, keepdims=True)
+    stds = values.std(axis=1, keepdims=True)
+    flat = stds <= epsilon * np.maximum(1.0, np.abs(means))
+    safe_stds = np.where(flat, 1.0, stds)
+    normalized = (values - means) / safe_stds
+    if flat.any():
+        normalized[flat[:, 0]] = 0.0
+    return normalized
+
+
+def is_znormalized(series: np.ndarray, atol: float = 1e-6) -> bool:
+    """Check whether every row of ``series`` has ~zero mean and ~unit std.
+
+    All-zero rows (the normalised form of constant series) also count as
+    normalised.
+    """
+    values = np.atleast_2d(np.asarray(series, dtype=np.float64))
+    means = values.mean(axis=1)
+    stds = values.std(axis=1)
+    zero_rows = np.abs(values).max(axis=1) <= atol
+    ok = (np.abs(means) <= atol) & (np.abs(stds - 1.0) <= atol)
+    return bool(np.all(ok | zero_rows))

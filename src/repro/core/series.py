@@ -1,0 +1,117 @@
+"""Dataset container for collections of equal-length data series.
+
+A :class:`Dataset` wraps a 2-D ``float64`` array (one series per row) together
+with a name and an optional pre-normalised view.  Indexes and baselines in
+this library operate on ``Dataset`` objects so that normalisation happens
+exactly once and the raw values stay available for exact-distance refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import DatasetError
+from repro.core.normalization import znormalize_batch
+
+
+@dataclass
+class Dataset:
+    """A named collection of equal-length data series.
+
+    Parameters
+    ----------
+    values:
+        2-D array with one series per row.  Converted to ``float64``.
+    name:
+        Human-readable dataset name (defaults to ``"dataset"``).
+    normalize:
+        When true (the default) the values are z-normalized row-wise on
+        construction, matching the paper's use of the z-normalized Euclidean
+        distance.
+    """
+
+    values: np.ndarray
+    name: str = "dataset"
+    normalize: bool = True
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=np.float64)
+        if values.ndim == 1:
+            values = values.reshape(1, -1)
+        if values.ndim != 2:
+            raise DatasetError(
+                f"dataset '{self.name}' must be a 2-D array, got shape {values.shape}"
+            )
+        if values.shape[0] == 0 or values.shape[1] == 0:
+            raise DatasetError(f"dataset '{self.name}' must not be empty")
+        if not np.isfinite(values).all():
+            raise DatasetError(f"dataset '{self.name}' contains NaN or infinite values")
+        if self.normalize:
+            values = znormalize_batch(values)
+        self.values = values
+
+    @property
+    def num_series(self) -> int:
+        """Number of series in the dataset."""
+        return self.values.shape[0]
+
+    @property
+    def series_length(self) -> int:
+        """Length of every series in the dataset."""
+        return self.values.shape[1]
+
+    def __len__(self) -> int:
+        return self.num_series
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return self.values[index]
+
+    def sample(self, fraction: float, rng: np.random.Generator | None = None) -> np.ndarray:
+        """Return a random row subsample of the dataset values.
+
+        This is the sampling step of MCB (Algorithm 1).  At least one series is
+        always returned.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise DatasetError(f"sampling fraction must be in (0, 1], got {fraction}")
+        rng = rng or np.random.default_rng(0)
+        count = max(1, int(round(fraction * self.num_series)))
+        indices = rng.choice(self.num_series, size=min(count, self.num_series), replace=False)
+        return self.values[np.sort(indices)]
+
+    def split(self, num_queries: int, rng: np.random.Generator | None = None
+              ) -> tuple["Dataset", "Dataset"]:
+        """Split into an indexing set and a held-out query set.
+
+        Mirrors the paper's protocol of keeping 100 query series per dataset
+        separate from the indexed data.
+        """
+        if not 0 < num_queries < self.num_series:
+            raise DatasetError(
+                f"num_queries must be in (0, {self.num_series}), got {num_queries}"
+            )
+        rng = rng or np.random.default_rng(0)
+        permutation = rng.permutation(self.num_series)
+        query_rows = permutation[:num_queries]
+        index_rows = permutation[num_queries:]
+        index_set = Dataset(self.values[np.sort(index_rows)], name=self.name,
+                            normalize=False, metadata=dict(self.metadata))
+        query_set = Dataset(self.values[np.sort(query_rows)], name=f"{self.name}-queries",
+                            normalize=False, metadata=dict(self.metadata))
+        return index_set, query_set
+
+    def describe(self) -> dict:
+        """Return summary statistics used by the Figure 1 style analysis."""
+        flat = self.values.ravel()
+        return {
+            "name": self.name,
+            "num_series": self.num_series,
+            "series_length": self.series_length,
+            "mean": float(flat.mean()),
+            "std": float(flat.std()),
+            "min": float(flat.min()),
+            "max": float(flat.max()),
+        }

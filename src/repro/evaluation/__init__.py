@@ -1,0 +1,55 @@
+"""Evaluation substrate: TLB, pruning power, timing, ranks, workload runner."""
+
+from repro.evaluation.pruning import PruningRecord, evaluate_pruning_power
+from repro.evaluation.ranks import (
+    CriticalDifferenceResult,
+    compute_average_ranks,
+    critical_difference,
+    friedman_test,
+    holm_correction,
+    wilcoxon_pvalue,
+)
+from repro.evaluation.reporting import format_milliseconds, format_table, relative_to_baseline
+from repro.evaluation.timing import QueryTimings, Timer
+from repro.evaluation.tlb import (
+    ABLATION_METHODS,
+    TlbRecord,
+    evaluate_tlb,
+    make_ablation_method,
+    mean_tlb_table,
+    tlb_study,
+)
+from repro.evaluation.workloads import (
+    METHODS,
+    BuildRecord,
+    QueryRecord,
+    WorkloadResult,
+    WorkloadRunner,
+)
+
+__all__ = [
+    "ABLATION_METHODS",
+    "BuildRecord",
+    "CriticalDifferenceResult",
+    "METHODS",
+    "PruningRecord",
+    "QueryRecord",
+    "QueryTimings",
+    "Timer",
+    "TlbRecord",
+    "WorkloadResult",
+    "WorkloadRunner",
+    "compute_average_ranks",
+    "critical_difference",
+    "evaluate_pruning_power",
+    "evaluate_tlb",
+    "format_milliseconds",
+    "format_table",
+    "friedman_test",
+    "holm_correction",
+    "make_ablation_method",
+    "mean_tlb_table",
+    "relative_to_baseline",
+    "tlb_study",
+    "wilcoxon_pvalue",
+]

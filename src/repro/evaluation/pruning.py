@@ -1,0 +1,48 @@
+"""Pruning-power evaluation.
+
+The paper connects TLB differences to pruning power: for the SCEDC dataset a
+24-percentage-point TLB gap translates into pruning 98 % of all series at the
+first level of the tree versus 38 % for MESSI.  This module measures that
+quantity directly: the fraction of candidate series whose lower bound to the
+query already exceeds the true nearest-neighbour distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distance import squared_euclidean_batch
+from repro.core.series import Dataset
+from repro.transforms.base import SymbolicSummarization
+
+
+@dataclass
+class PruningRecord:
+    """Pruning power of one method on one dataset."""
+
+    method: str
+    dataset: str
+    pruning_power: float
+
+
+def evaluate_pruning_power(summarization: SymbolicSummarization, train: Dataset,
+                           queries: Dataset, fit: bool = True) -> float:
+    """Mean fraction of series pruned by the summarization's lower bound.
+
+    For every query the true 1-NN distance is computed by brute force and used
+    as the pruning threshold, modelling a search whose best-so-far has already
+    converged (the most favourable and method-independent comparison point).
+    """
+    if fit:
+        summarization.fit(train)
+    words = summarization.words(train)
+    fractions = []
+    for query in queries.values:
+        query_summary = summarization.transform(query)
+        lower = summarization.mindist_batch(query_summary, words)
+        true = squared_euclidean_batch(query, train.values)
+        threshold = true.min()
+        fractions.append(float(np.mean(lower > threshold)))
+    return float(np.mean(fractions))

@@ -1,0 +1,124 @@
+"""Critical-difference analysis (Figure 15 of the paper).
+
+The paper compares the mean TLB ranks of the five summarization variants with
+a critical-difference diagram: methods are ranked per dataset, average ranks
+are reported, a Friedman test checks whether any difference exists at all, and
+pairwise Wilcoxon signed-rank tests with Holm correction group methods into
+cliques that are statistically indistinguishable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass
+class CriticalDifferenceResult:
+    """Average ranks, the Friedman p-value and the indistinguishable cliques."""
+
+    methods: list[str]
+    average_ranks: dict[str, float]
+    friedman_pvalue: float
+    cliques: list[tuple[str, ...]]
+
+    def ordered_methods(self) -> list[str]:
+        """Methods sorted by average rank (best, i.e. lowest, first)."""
+        return sorted(self.methods, key=lambda method: self.average_ranks[method])
+
+
+def compute_average_ranks(scores: "dict[str, list[float]]",
+                          higher_is_better: bool = True) -> dict[str, float]:
+    """Average rank of each method across datasets (rank 1 = best).
+
+    ``scores[method]`` must list one score per dataset, with every method
+    scored on the same datasets in the same order.  Ties receive their average
+    rank, as in the standard Demšar procedure.
+    """
+    methods = list(scores)
+    matrix = np.array([scores[method] for method in methods], dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[1] == 0:
+        raise ValueError("each method needs at least one score")
+    if len({len(values) for values in scores.values()}) != 1:
+        raise ValueError("every method must be scored on the same number of datasets")
+    oriented = -matrix if higher_is_better else matrix
+    ranks = np.apply_along_axis(stats.rankdata, 0, oriented)
+    average = ranks.mean(axis=1)
+    return {method: float(rank) for method, rank in zip(methods, average)}
+
+
+def friedman_test(scores: "dict[str, list[float]]") -> float:
+    """p-value of the Friedman test over the per-dataset scores."""
+    samples = [np.asarray(values, dtype=np.float64) for values in scores.values()]
+    if len(samples) < 3:
+        # The Friedman test needs at least three groups; fall back to Wilcoxon.
+        if len(samples) == 2:
+            return wilcoxon_pvalue(samples[0], samples[1])
+        return 1.0
+    _, pvalue = stats.friedmanchisquare(*samples)
+    return float(pvalue)
+
+
+def wilcoxon_pvalue(first: np.ndarray, second: np.ndarray) -> float:
+    """Two-sided Wilcoxon signed-rank p-value, robust to all-zero differences."""
+    differences = np.asarray(first, dtype=np.float64) - np.asarray(second, dtype=np.float64)
+    if np.allclose(differences, 0.0):
+        return 1.0
+    _, pvalue = stats.wilcoxon(first, second, zero_method="zsplit")
+    return float(pvalue)
+
+
+def holm_correction(pvalues: "list[float]") -> list[float]:
+    """Holm step-down correction of a list of p-values (order preserved)."""
+    order = np.argsort(pvalues)
+    corrected = np.empty(len(pvalues), dtype=np.float64)
+    running_max = 0.0
+    for position, index in enumerate(order):
+        adjusted = (len(pvalues) - position) * pvalues[index]
+        running_max = max(running_max, min(1.0, adjusted))
+        corrected[index] = running_max
+    return corrected.tolist()
+
+
+def critical_difference(scores: "dict[str, list[float]]", alpha: float = 0.05,
+                        higher_is_better: bool = True) -> CriticalDifferenceResult:
+    """Full Figure 15-style analysis: ranks, Friedman test and Holm cliques."""
+    methods = list(scores)
+    average_ranks = compute_average_ranks(scores, higher_is_better=higher_is_better)
+    friedman_pvalue = friedman_test(scores)
+
+    pairs = list(combinations(methods, 2))
+    raw_pvalues = [wilcoxon_pvalue(np.asarray(scores[a]), np.asarray(scores[b]))
+                   for a, b in pairs]
+    corrected = holm_correction(raw_pvalues)
+    indistinguishable = {pair for pair, pvalue in zip(pairs, corrected) if pvalue >= alpha}
+
+    cliques = _build_cliques(methods, average_ranks, indistinguishable)
+    return CriticalDifferenceResult(methods=methods, average_ranks=average_ranks,
+                                    friedman_pvalue=friedman_pvalue, cliques=cliques)
+
+
+def _build_cliques(methods: list[str], average_ranks: dict[str, float],
+                   indistinguishable: set) -> list[tuple[str, ...]]:
+    """Maximal contiguous groups (by rank order) of pairwise-indistinguishable methods."""
+    ordered = sorted(methods, key=lambda method: average_ranks[method])
+
+    def linked(a: str, b: str) -> bool:
+        return (a, b) in indistinguishable or (b, a) in indistinguishable
+
+    cliques: list[tuple[str, ...]] = []
+    for start in range(len(ordered)):
+        group = [ordered[start]]
+        for candidate in ordered[start + 1:]:
+            if all(linked(candidate, member) for member in group):
+                group.append(candidate)
+            else:
+                break
+        if len(group) > 1:
+            clique = tuple(group)
+            if not any(set(clique).issubset(set(existing)) for existing in cliques):
+                cliques.append(clique)
+    return cliques

@@ -1,0 +1,60 @@
+"""Plain-text table formatting for the paper-style experiment outputs.
+
+Every benchmark prints its result as a small aligned table so that the
+``bench_output.txt`` transcript can be compared side by side with the paper's
+tables and figures.  The formatting helpers here keep that output consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], title: str | None = None,
+                 float_format: str = "{:.3f}") -> str:
+    """Render rows as an aligned monospace table.
+
+    Floats are rendered with ``float_format``; everything else with ``str``.
+    """
+    rendered_rows = []
+    for row in rows:
+        rendered = []
+        for cell in row:
+            if isinstance(cell, (float, np.floating)):
+                rendered.append(float_format.format(float(cell)))
+            else:
+                rendered.append(str(cell))
+        rendered_rows.append(rendered)
+
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line([str(header) for header in headers]))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)
+
+
+def format_milliseconds(seconds: float) -> str:
+    """Seconds → a millisecond string, the unit of Tables II-IV."""
+    return f"{1000.0 * seconds:.1f} ms"
+
+
+def relative_to_baseline(times: "dict[str, float]", baseline: str) -> dict[str, float]:
+    """Express every method's time as a fraction of the baseline (Figure 12)."""
+    if baseline not in times:
+        raise KeyError(f"baseline '{baseline}' missing from {sorted(times)}")
+    reference = times[baseline]
+    if reference <= 0:
+        raise ValueError("baseline time must be positive")
+    return {method: value / reference for method, value in times.items()}

@@ -1,0 +1,58 @@
+"""Timing helpers used by the workload runner and the benchmarks."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class Timer:
+    """A context manager measuring wall-clock time in seconds.
+
+    >>> with Timer() as timer:
+    ...     _ = sum(range(1000))
+    >>> timer.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class QueryTimings:
+    """Collection of per-query times with the summary statistics the paper reports."""
+
+    times: list[float] = field(default_factory=list)
+
+    def add(self, seconds: float) -> None:
+        self.times.append(float(seconds))
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.times)) if self.times else 0.0
+
+    @property
+    def median(self) -> float:
+        return float(np.median(self.times)) if self.times else 0.0
+
+    @property
+    def total(self) -> float:
+        return float(np.sum(self.times)) if self.times else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.times, q)) if self.times else 0.0
+
+    def as_milliseconds(self) -> dict:
+        """Mean/median in milliseconds, the unit used by Tables II-IV."""
+        return {"mean_ms": 1000.0 * self.mean, "median_ms": 1000.0 * self.median}

@@ -1,0 +1,109 @@
+"""Tightness-of-lower-bound (TLB) evaluation for the ablation study.
+
+The paper's ablation (Section V-E) measures, for each summarization variant
+and alphabet size, the mean ratio of the lower-bound distance between a query
+and a candidate to their true Euclidean distance.  The query side uses the
+*numeric* summary (PAA values or Fourier components) and the candidate side
+the *symbolic* word, exactly as the index does at query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.distance import squared_euclidean_batch
+from repro.core.lower_bounds import tightness_of_lower_bound
+from repro.core.series import Dataset
+from repro.transforms.base import SymbolicSummarization
+from repro.transforms.sax import SAX
+from repro.transforms.sfa import SFA
+
+
+@dataclass
+class TlbRecord:
+    """TLB of one (method, dataset, alphabet size) combination."""
+
+    method: str
+    dataset: str
+    alphabet_size: int
+    tlb: float
+
+
+def evaluate_tlb(summarization: SymbolicSummarization, train: Dataset, queries: Dataset,
+                 max_pairs_per_query: int | None = None, seed: int = 0) -> float:
+    """Mean TLB of one fitted summarization on a train/query pair.
+
+    For every query the lower bound to every train series (or to a random
+    subset of ``max_pairs_per_query`` of them) is divided by the true distance;
+    the mean over all pairs is returned.
+    """
+    summarization.fit(train)
+    train_words = summarization.words(train)
+    rng = np.random.default_rng(seed)
+
+    ratios_lower: list[np.ndarray] = []
+    ratios_true: list[np.ndarray] = []
+    for query in queries.values:
+        query_summary = summarization.transform(query)
+        if max_pairs_per_query is not None and max_pairs_per_query < train.num_series:
+            rows = rng.choice(train.num_series, size=max_pairs_per_query, replace=False)
+        else:
+            rows = np.arange(train.num_series)
+        lower = np.sqrt(summarization.mindist_batch(query_summary, train_words[rows]))
+        true = np.sqrt(squared_euclidean_batch(query, train.values[rows]))
+        ratios_lower.append(lower)
+        ratios_true.append(true)
+    return tightness_of_lower_bound(np.concatenate(ratios_lower), np.concatenate(ratios_true))
+
+
+def make_ablation_method(method: str, word_length: int = 16,
+                         alphabet_size: int = 256) -> SymbolicSummarization:
+    """Instantiate one of the five ablation variants of Figure 14.
+
+    Supported names: ``"iSAX"``, ``"SFA ED"``, ``"SFA ED +VAR"``, ``"SFA EW"``,
+    ``"SFA EW +VAR"``.
+    """
+    if method == "iSAX":
+        return SAX(word_length=word_length, alphabet_size=alphabet_size)
+    parts = method.split()
+    if parts[0] != "SFA" or parts[1] not in ("ED", "EW"):
+        raise ValueError(f"unknown ablation method '{method}'")
+    binning = "equi-depth" if parts[1] == "ED" else "equi-width"
+    variance = "+VAR" in method
+    return SFA(word_length=word_length, alphabet_size=alphabet_size, binning=binning,
+               variance_selection=variance, sample_fraction=1.0)
+
+
+ABLATION_METHODS = ("iSAX", "SFA ED", "SFA ED +VAR", "SFA EW", "SFA EW +VAR")
+
+
+def tlb_study(datasets: "dict[str, tuple[Dataset, Dataset]]",
+              alphabet_sizes: "tuple[int, ...]" = (4, 8, 16, 32, 64, 128, 256),
+              methods: "tuple[str, ...]" = ABLATION_METHODS,
+              word_length: int = 16,
+              max_pairs_per_query: int | None = 100) -> list[TlbRecord]:
+    """Run the full TLB grid of Tables V/VI over named (train, query) pairs."""
+    records = []
+    for dataset_name, (train, queries) in datasets.items():
+        effective_length = min(word_length, train.series_length)
+        for alphabet_size in alphabet_sizes:
+            for method in methods:
+                summarization = make_ablation_method(method, effective_length, alphabet_size)
+                tlb = evaluate_tlb(summarization, train, queries,
+                                   max_pairs_per_query=max_pairs_per_query)
+                records.append(TlbRecord(method=method, dataset=dataset_name,
+                                         alphabet_size=alphabet_size, tlb=tlb))
+    return records
+
+
+def mean_tlb_table(records: "list[TlbRecord]") -> dict[str, dict[int, float]]:
+    """Aggregate records into the {method: {alphabet_size: mean TLB}} table shape."""
+    sums: dict[tuple[str, int], list[float]] = {}
+    for record in records:
+        sums.setdefault((record.method, record.alphabet_size), []).append(record.tlb)
+    table: dict[str, dict[int, float]] = {}
+    for (method, alphabet_size), values in sums.items():
+        table.setdefault(method, {})[alphabet_size] = float(np.mean(values))
+    return table

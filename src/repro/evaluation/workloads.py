@@ -1,0 +1,261 @@
+"""Workload runner: build every method on a dataset, run queries, model cores.
+
+This module glues the indexes, baselines, dataset registry and virtual-core
+simulator into the experiment loop used by most benchmarks: for each dataset
+and method it builds the structure, answers a set of held-out queries, and
+reports both the *measured* single-threaded times and the *simulated*
+multi-worker times obtained by replaying the measured per-task costs through
+:func:`repro.parallel.simulator.schedule_tasks`.
+
+Method names follow the paper: ``"SOFA"``, ``"MESSI"``, ``"FAISS"`` (the
+FlatL2 analogue) and ``"UCR-SUITE"`` (the parallel-scan analogue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.flatl2 import FlatL2Index
+from repro.baselines.ucr_suite import UcrSuiteScan
+from repro.core.errors import InvalidParameterError
+from repro.core.series import Dataset
+from repro.evaluation.timing import QueryTimings
+from repro.index.messi import MessiIndex
+from repro.index.sofa import SofaIndex
+from repro.parallel.simulator import DEFAULT_SYNC_OVERHEAD, SimulatedRun, schedule_tasks
+
+#: Methods understood by the workload runner, in the order the paper lists them.
+METHODS = ("FAISS", "MESSI", "SOFA", "UCR-SUITE")
+
+
+@dataclass
+class BuildRecord:
+    """Construction cost of one method on one dataset at one core count."""
+
+    dataset: str
+    method: str
+    cores: int
+    learn_time: float
+    transform_time: float
+    tree_time: float
+    total_time: float
+
+
+@dataclass
+class QueryRecord:
+    """Query cost of one method on one dataset at one core count and one k."""
+
+    dataset: str
+    method: str
+    cores: int
+    k: int
+    query_times: list[float] = field(default_factory=list)
+    exact_correct: bool = True
+
+    @property
+    def mean_time(self) -> float:
+        return float(np.mean(self.query_times)) if self.query_times else 0.0
+
+    @property
+    def median_time(self) -> float:
+        return float(np.median(self.query_times)) if self.query_times else 0.0
+
+
+@dataclass
+class WorkloadResult:
+    """All build and query records produced by one runner invocation."""
+
+    build_records: list[BuildRecord] = field(default_factory=list)
+    query_records: list[QueryRecord] = field(default_factory=list)
+
+    def query_record(self, dataset: str, method: str, cores: int, k: int = 1) -> QueryRecord:
+        for record in self.query_records:
+            if (record.dataset == dataset and record.method == method
+                    and record.cores == cores and record.k == k):
+                return record
+        raise KeyError(f"no query record for {dataset}/{method}/{cores} cores/k={k}")
+
+    def mean_query_times(self, method: str, cores: int, k: int = 1) -> QueryTimings:
+        timings = QueryTimings()
+        for record in self.query_records:
+            if record.method == method and record.cores == cores and record.k == k:
+                timings.times.extend(record.query_times)
+        return timings
+
+
+class WorkloadRunner:
+    """Runs the paper's build-then-query workload on scaled-down datasets.
+
+    Parameters
+    ----------
+    core_counts:
+        Virtual core counts to simulate (the paper uses 9, 18 and 36).
+    leaf_size:
+        Leaf capacity of the tree indexes.
+    word_length, alphabet_size:
+        Summarization parameters (16 and 256 in the paper).
+    sofa_kwargs:
+        Extra keyword arguments forwarded to :class:`SofaIndex` (binning,
+        sampling fraction, …), used by the ablation benchmarks.
+    """
+
+    def __init__(self, core_counts: tuple[int, ...] = (9, 18, 36), leaf_size: int = 100,
+                 word_length: int = 16, alphabet_size: int = 256,
+                 sofa_kwargs: dict | None = None,
+                 sync_overhead: float = DEFAULT_SYNC_OVERHEAD) -> None:
+        if not core_counts:
+            raise InvalidParameterError("core_counts must not be empty")
+        self.core_counts = tuple(core_counts)
+        self.leaf_size = leaf_size
+        self.word_length = word_length
+        self.alphabet_size = alphabet_size
+        self.sofa_kwargs = dict(sofa_kwargs or {})
+        self.sync_overhead = sync_overhead
+
+    # --------------------------------------------------------- method setup
+
+    def make_method(self, method: str):
+        """Instantiate one of the four competitors with the runner's parameters."""
+        if method == "SOFA":
+            return SofaIndex(word_length=self.word_length, alphabet_size=self.alphabet_size,
+                             leaf_size=self.leaf_size, **self.sofa_kwargs)
+        if method == "MESSI":
+            return MessiIndex(word_length=self.word_length, alphabet_size=self.alphabet_size,
+                              leaf_size=self.leaf_size)
+        if method == "FAISS":
+            return FlatL2Index(batch_size=max(self.core_counts))
+        if method == "UCR-SUITE":
+            return UcrSuiteScan(num_chunks=max(self.core_counts))
+        raise InvalidParameterError(f"unknown method '{method}'; expected one of {METHODS}")
+
+    # ---------------------------------------------------------------- build
+
+    def _simulate_build(self, dataset_name: str, method: str, instance) -> list[BuildRecord]:
+        records = []
+        for cores in self.core_counts:
+            if method in ("SOFA", "MESSI"):
+                timings = instance.timings
+                run = SimulatedRun(num_workers=cores)
+                run.add_phase("learning", [], serial_time=timings.learn_time,
+                              sync_overhead=self.sync_overhead)
+                run.add_phase("transform", timings.transform_chunk_times,
+                              sync_overhead=self.sync_overhead)
+                run.add_phase("tree", timings.subtree_times,
+                              sync_overhead=self.sync_overhead, num_barriers=2)
+                phase_times = run.phase_times()
+                records.append(BuildRecord(
+                    dataset=dataset_name, method=method, cores=cores,
+                    learn_time=phase_times["learning"],
+                    transform_time=phase_times["transform"],
+                    tree_time=phase_times["tree"],
+                    total_time=run.total_time,
+                ))
+            else:
+                build_time = getattr(instance, "build_time", 0.0)
+                schedule = schedule_tasks([build_time], cores,
+                                          sync_overhead=self.sync_overhead)
+                records.append(BuildRecord(
+                    dataset=dataset_name, method=method, cores=cores,
+                    learn_time=0.0, transform_time=0.0, tree_time=build_time,
+                    total_time=schedule.total_time,
+                ))
+        return records
+
+    # --------------------------------------------------------------- query
+
+    def _measure_queries(self, method: str, instance, queries: Dataset, k: int,
+                         reference: "list[tuple[int, float]] | None"
+                         ) -> tuple[list[dict], bool]:
+        """Run every query once and collect its per-task costs.
+
+        Returns one work profile per query: ``{"serial": float, "tasks": list}``
+        ready to be replayed by the simulator for any number of cores, plus an
+        exactness flag against the optional brute-force reference.
+        """
+        profiles: list[dict] = []
+        correct = True
+        if method in ("SOFA", "MESSI"):
+            for row, query in enumerate(queries.values):
+                result = instance.knn(query, k=k)
+                stats = result.stats
+                profiles.append({"serial": stats.approximate_time + stats.traversal_time,
+                                 "tasks": list(stats.leaf_times)})
+                if reference is not None and k == 1:
+                    correct &= self._matches_reference(result.nearest_distance,
+                                                       reference[row][1])
+        elif method == "UCR-SUITE":
+            for row, query in enumerate(queries.values):
+                result = instance.knn(query, k=k)
+                profiles.append({"serial": 0.0, "tasks": list(result.stats.chunk_times)})
+                if reference is not None and k == 1:
+                    correct &= self._matches_reference(float(result.distances[0]),
+                                                       reference[row][1])
+        elif method == "FAISS":
+            batch_result = instance.search(queries.values, k=k)
+            batch_size = instance.batch_size
+            for batch_index, batch_time in enumerate(batch_result.stats.batch_times):
+                start = batch_index * batch_size
+                count = min(batch_size, queries.num_series - start)
+                # The batch is embarrassingly parallel over its queries: each
+                # query is one task of equal share of the batch's work.
+                per_query = batch_time / count
+                for _ in range(count):
+                    profiles.append({"serial": 0.0, "tasks": [per_query] * count,
+                                     "shared_batch": True})
+            if reference is not None and k >= 1:
+                for row in range(queries.num_series):
+                    correct &= self._matches_reference(float(batch_result.distances[row, 0]),
+                                                       reference[row][1])
+        else:
+            raise InvalidParameterError(f"unknown method '{method}'")
+        return profiles, correct
+
+    def _simulate_query_times(self, profiles: list[dict], cores: int) -> list[float]:
+        """Replay measured work profiles at a given virtual core count."""
+        times = []
+        for profile in profiles:
+            schedule = schedule_tasks(profile["tasks"], cores,
+                                      serial_time=profile["serial"],
+                                      sync_overhead=self.sync_overhead)
+            times.append(schedule.total_time)
+        return times
+
+    @staticmethod
+    def _matches_reference(distance: float, reference_distance: float,
+                           rtol: float = 1e-6, atol: float = 1e-8) -> bool:
+        return bool(np.isclose(distance, reference_distance, rtol=rtol, atol=atol))
+
+    # ----------------------------------------------------------------- run
+
+    def run_dataset(self, dataset: Dataset, queries: Dataset,
+                    methods: tuple[str, ...] = METHODS, k_values: tuple[int, ...] = (1,),
+                    reference: "list[tuple[int, float]] | None" = None) -> WorkloadResult:
+        """Build every method once and answer every query at every core count."""
+        result = WorkloadResult()
+        for method in methods:
+            instance = self.make_method(method)
+            instance.build(dataset)
+            result.build_records.extend(self._simulate_build(dataset.name, method, instance))
+            for k in k_values:
+                profiles, correct = self._measure_queries(method, instance, queries, k,
+                                                          reference)
+                for cores in self.core_counts:
+                    times = self._simulate_query_times(profiles, cores)
+                    result.query_records.append(QueryRecord(
+                        dataset=dataset.name, method=method, cores=cores, k=k,
+                        query_times=times, exact_correct=correct,
+                    ))
+        return result
+
+    def run_suite(self, suite: "dict[str, tuple[Dataset, Dataset]]",
+                  methods: tuple[str, ...] = METHODS,
+                  k_values: tuple[int, ...] = (1,)) -> WorkloadResult:
+        """Run :meth:`run_dataset` over a named suite of (index, query) pairs."""
+        combined = WorkloadResult()
+        for _, (dataset, queries) in suite.items():
+            partial = self.run_dataset(dataset, queries, methods=methods, k_values=k_values)
+            combined.build_records.extend(partial.build_records)
+            combined.query_records.extend(partial.query_records)
+        return combined

@@ -1,0 +1,27 @@
+"""Tree indexes: the shared MESSI-style tree, MESSI (iSAX) and SOFA (SFA)."""
+
+from repro.index.buffers import SummaryBuffer, fill_buffers
+from repro.index.messi import MessiIndex
+from repro.index.node import InnerNode, LeafNode, Node, root_child_word
+from repro.index.search import ExactSearcher, SearchResult, SearchStats
+from repro.index.sofa import SofaIndex
+from repro.index.stats import IndexStructureStats, compute_structure_stats
+from repro.index.tree import BuildTimings, TreeIndex
+
+__all__ = [
+    "BuildTimings",
+    "ExactSearcher",
+    "IndexStructureStats",
+    "InnerNode",
+    "LeafNode",
+    "MessiIndex",
+    "Node",
+    "SearchResult",
+    "SearchStats",
+    "SofaIndex",
+    "SummaryBuffer",
+    "TreeIndex",
+    "compute_structure_stats",
+    "fill_buffers",
+    "root_child_word",
+]

@@ -1,0 +1,66 @@
+"""Summary buffers used during bulk index construction.
+
+MESSI's index-construction phase first computes the symbolic summaries of all
+series into per-root-child buffers and only then builds each subtree from its
+buffer (Figure 5, Stage 1).  Keeping the two phases separate makes subtree
+construction embarrassingly parallel — each buffer belongs to exactly one
+subtree and one worker — and it is also what the virtual-core simulation uses
+as its unit of work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class SummaryBuffer:
+    """All series that fall under one root child (one 1-bit-per-dimension prefix)."""
+
+    key: tuple[int, ...]
+    indices: np.ndarray  # dataset row indices
+    words: np.ndarray    # full-resolution words of those rows
+
+    @property
+    def size(self) -> int:
+        return self.indices.shape[0]
+
+
+def fill_buffers(words: np.ndarray, bits: int) -> list[SummaryBuffer]:
+    """Group full-resolution words into per-root-child buffers.
+
+    Parameters
+    ----------
+    words:
+        Full-resolution words of every series, shape ``(num_series, word_length)``.
+    bits:
+        Bits per symbol of the full-resolution words.
+
+    Returns
+    -------
+    list of :class:`SummaryBuffer`, ordered by descending size so that the
+    greedy worker assignment of the simulator (longest first) matches the order
+    MESSI's work queue would drain them in.
+    """
+    words = np.asarray(words, dtype=np.int64)
+    if words.ndim != 2:
+        raise ValueError(f"expected a 2-D word matrix, got shape {words.shape}")
+    top_bits = words >> (bits - 1)
+    # Encode each 1-bit prefix row as a single integer key for fast grouping.
+    packed = np.zeros(words.shape[0], dtype=np.int64)
+    for dimension in range(words.shape[1]):
+        packed = (packed << 1) | top_bits[:, dimension]
+    order = np.argsort(packed, kind="stable")
+    sorted_keys = packed[order]
+    boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+    groups = np.split(order, boundaries)
+
+    buffers = []
+    for group in groups:
+        key = tuple(int(bit) for bit in top_bits[group[0]])
+        buffers.append(SummaryBuffer(key=key, indices=group.astype(np.int64),
+                                     words=words[group]))
+    buffers.sort(key=lambda buffer: buffer.size, reverse=True)
+    return buffers

@@ -1,0 +1,81 @@
+"""MESSI: the state-of-the-art iSAX-based in-memory index (the paper's baseline).
+
+``MessiIndex`` is the shared :class:`~repro.index.tree.TreeIndex` instantiated
+with the SAX/iSAX summarization, exposing a small convenience API (``build``,
+``knn``, ``nearest_neighbor``) used by the benchmarks and examples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.series import Dataset
+from repro.index.search import ExactSearcher, SearchResult
+from repro.index.tree import TreeIndex
+from repro.transforms.sax import SAX
+
+
+class MessiIndex:
+    """In-memory exact similarity-search index over iSAX words.
+
+    Parameters
+    ----------
+    word_length:
+        Number of PAA segments per word (16 in the paper).
+    alphabet_size:
+        Symbol cardinality (256 in the paper).
+    leaf_size:
+        Maximum series per leaf before splitting.
+    split_policy:
+        Node-splitting heuristic, see :class:`~repro.index.tree.TreeIndex`.
+    """
+
+    summarization_name = "SAX"
+
+    def __init__(self, word_length: int = 16, alphabet_size: int = 256,
+                 leaf_size: int = 100, split_policy: str = "balanced") -> None:
+        self.summarization = SAX(word_length=word_length, alphabet_size=alphabet_size)
+        self.tree = TreeIndex(self.summarization, leaf_size=leaf_size,
+                              split_policy=split_policy)
+        self._searcher: ExactSearcher | None = None
+
+    def build(self, dataset: "Dataset | np.ndarray") -> "MessiIndex":
+        """Build the index over a dataset (fits iSAX and grows the tree)."""
+        self.tree.build(dataset if isinstance(dataset, Dataset) else Dataset(dataset))
+        self._searcher = ExactSearcher(self.tree)
+        return self
+
+    @property
+    def is_built(self) -> bool:
+        return self._searcher is not None
+
+    def _require_built(self) -> ExactSearcher:
+        if self._searcher is None:
+            raise RuntimeError("MessiIndex.build must be called before querying")
+        return self._searcher
+
+    def knn(self, query: np.ndarray, k: int = 1) -> SearchResult:
+        """Exact k nearest neighbours of ``query``."""
+        return self._require_built().knn(query, k=k)
+
+    def nearest_neighbor(self, query: np.ndarray) -> SearchResult:
+        """Exact nearest neighbour of ``query``."""
+        return self._require_built().nearest_neighbor(query)
+
+    def approximate_knn(self, query: np.ndarray, k: int = 1,
+                        max_refined_series: int = 256) -> SearchResult:
+        """Approximate k nearest neighbours (refine only the best candidates).
+
+        See :meth:`repro.index.search.ExactSearcher.approximate_knn`.
+        """
+        return self._require_built().approximate_knn(query, k=k,
+                                                     max_refined_series=max_refined_series)
+
+    def knn_batch(self, queries: np.ndarray, k: int = 1) -> "list[SearchResult]":
+        """Exact k nearest neighbours for a batch of queries (one per row)."""
+        return self._require_built().knn_batch(queries, k=k)
+
+    @property
+    def timings(self):
+        """Construction timings (see :class:`~repro.index.tree.BuildTimings`)."""
+        return self.tree.timings

@@ -1,0 +1,110 @@
+"""Tree nodes of the MESSI/SOFA index.
+
+The index is a forest rooted at a *root node* whose children correspond to the
+1-bit-per-dimension prefixes of the symbolic words (up to ``2^l`` children for
+word length ``l``).  Below the root, *inner nodes* hold a variable-cardinality
+word (a per-dimension symbol prefix plus the number of bits used) and exactly
+two children obtained by appending one bit to one dimension's prefix.  *Leaf
+nodes* store the full-resolution words of their series together with the row
+indices of those series in the indexed dataset.
+
+The variable-cardinality word of any node describes a hyper-rectangle in
+summary space; the lower-bound distance between a query summary and that
+rectangle (Eq. 2 with per-dimension weights) is what the exact-search algorithm
+prunes with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Node:
+    """Common state of inner and leaf nodes: a variable-cardinality word."""
+
+    symbols: np.ndarray  # per-dimension symbol prefix, expressed at `bits` resolution
+    bits: np.ndarray     # per-dimension number of bits used (0 = unconstrained)
+
+    @property
+    def word_length(self) -> int:
+        return self.symbols.shape[0]
+
+    def is_leaf(self) -> bool:
+        raise NotImplementedError
+
+    def iter_leaves(self):
+        """Yield every leaf in the subtree rooted at this node."""
+        raise NotImplementedError
+
+    def depth(self) -> int:
+        """Height of the subtree rooted at this node (a leaf has depth 1)."""
+        raise NotImplementedError
+
+    def count_nodes(self) -> int:
+        raise NotImplementedError
+
+
+@dataclass
+class LeafNode(Node):
+    """A leaf stores full-resolution words and dataset row indices.
+
+    ``lower`` and ``upper`` cache the per-series quantization intervals at full
+    resolution so that query-time lower bounds are a single vectorized kernel
+    call (:func:`repro.core.simd.batch_lower_bound`).
+    """
+
+    indices: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    words: np.ndarray = field(default_factory=lambda: np.empty((0, 0), dtype=np.int64))
+    lower: np.ndarray | None = None
+    upper: np.ndarray | None = None
+
+    @property
+    def size(self) -> int:
+        return self.indices.shape[0]
+
+    def is_leaf(self) -> bool:
+        return True
+
+    def iter_leaves(self):
+        yield self
+
+    def depth(self) -> int:
+        return 1
+
+    def count_nodes(self) -> int:
+        return 1
+
+
+@dataclass
+class InnerNode(Node):
+    """An inner node with exactly two children, split on ``split_dimension``."""
+
+    split_dimension: int = 0
+    left: Node | None = None   # child whose appended bit is 0
+    right: Node | None = None  # child whose appended bit is 1
+
+    @property
+    def children(self) -> list[Node]:
+        return [child for child in (self.left, self.right) if child is not None]
+
+    def is_leaf(self) -> bool:
+        return False
+
+    def iter_leaves(self):
+        for child in self.children:
+            yield from child.iter_leaves()
+
+    def depth(self) -> int:
+        return 1 + max((child.depth() for child in self.children), default=0)
+
+    def count_nodes(self) -> int:
+        return 1 + sum(child.count_nodes() for child in self.children)
+
+
+def root_child_word(symbols: np.ndarray, bits: np.ndarray) -> tuple[int, ...]:
+    """Hashable key of a root child: its 1-bit-per-dimension prefix."""
+    del bits  # root children always use exactly one bit per dimension
+    return tuple(int(symbol) for symbol in symbols)

@@ -1,0 +1,68 @@
+"""Structural statistics of a built tree index (Figure 8 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import IndexError_
+from repro.index.tree import TreeIndex
+
+
+@dataclass
+class IndexStructureStats:
+    """Aggregate structure metrics reported in Figure 8."""
+
+    num_series: int
+    num_subtrees: int
+    num_nodes: int
+    num_leaves: int
+    average_depth: float
+    max_depth: int
+    average_leaf_size: float
+    leaf_fill_ratio: float
+
+    def as_dict(self) -> dict:
+        return {
+            "num_series": self.num_series,
+            "num_subtrees": self.num_subtrees,
+            "num_nodes": self.num_nodes,
+            "num_leaves": self.num_leaves,
+            "average_depth": self.average_depth,
+            "max_depth": self.max_depth,
+            "average_leaf_size": self.average_leaf_size,
+            "leaf_fill_ratio": self.leaf_fill_ratio,
+        }
+
+
+def compute_structure_stats(index: TreeIndex) -> IndexStructureStats:
+    """Average depth, leaf fill and root fanout of a built index."""
+    if not index.is_built:
+        raise IndexError_("the index must be built before computing statistics")
+    leaves = index.leaves()
+    leaf_sizes = np.array([leaf.size for leaf in leaves], dtype=np.float64)
+    depths = []
+    for subtree in index.root_children.values():
+        depths.extend(_leaf_depths(subtree, 1))
+    depths = np.asarray(depths, dtype=np.float64)
+    num_nodes = sum(subtree.count_nodes() for subtree in index.root_children.values())
+    return IndexStructureStats(
+        num_series=index.num_series,
+        num_subtrees=len(index.root_children),
+        num_nodes=int(num_nodes),
+        num_leaves=len(leaves),
+        average_depth=float(depths.mean()) if depths.size else 0.0,
+        max_depth=int(depths.max()) if depths.size else 0,
+        average_leaf_size=float(leaf_sizes.mean()) if leaf_sizes.size else 0.0,
+        leaf_fill_ratio=float(leaf_sizes.mean() / index.leaf_size) if leaf_sizes.size else 0.0,
+    )
+
+
+def _leaf_depths(node, depth: int) -> list[int]:
+    if node.is_leaf():
+        return [depth]
+    depths: list[int] = []
+    for child in node.children:
+        depths.extend(_leaf_depths(child, depth + 1))
+    return depths

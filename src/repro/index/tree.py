@@ -1,0 +1,314 @@
+"""The MESSI-style tree index, generic over a symbolic summarization.
+
+MESSI (with SAX words) and SOFA (with SFA words) share the same index
+structure: a root whose children are the 1-bit-per-dimension prefixes of the
+words, binary inner nodes obtained by appending one bit to one dimension, and
+leaves holding the full-resolution words plus pointers to the raw series.
+The only differences are which summarization produces the words and which
+per-dimension weights enter the lower bound — both are encapsulated in the
+:class:`~repro.transforms.base.SymbolicSummarization` passed to the tree.
+
+Construction follows the paper's two index stages (Figure 5):
+
+1. summarize every series into full-resolution words (parallelisable in
+   chunks), group them into per-root-child buffers;
+2. build each root subtree independently from its buffer (parallelisable per
+   subtree), splitting any node that exceeds ``leaf_size`` by appending one bit
+   to the dimension that balances the two children best.
+
+Timings of both stages are recorded per work item so the virtual-core
+simulator can replay them for any number of workers (Figure 7).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import IndexError_, InvalidParameterError
+from repro.core.series import Dataset
+from repro.index.buffers import SummaryBuffer, fill_buffers
+from repro.index.node import InnerNode, LeafNode, Node
+from repro.transforms.base import SymbolicSummarization
+
+#: Node-splitting policies supported by the tree.
+SPLIT_POLICIES = ("balanced", "round-robin")
+
+
+@dataclass
+class BuildTimings:
+    """Measured single-threaded costs of every construction work item."""
+
+    learn_time: float = 0.0
+    transform_chunk_times: list[float] = field(default_factory=list)
+    subtree_times: list[float] = field(default_factory=list)
+
+    @property
+    def transform_time(self) -> float:
+        return float(sum(self.transform_chunk_times))
+
+    @property
+    def tree_time(self) -> float:
+        return float(sum(self.subtree_times))
+
+    @property
+    def total_time(self) -> float:
+        return self.learn_time + self.transform_time + self.tree_time
+
+
+class TreeIndex:
+    """A GEMINI tree index over symbolic words (the shared MESSI/SOFA core).
+
+    Parameters
+    ----------
+    summarization:
+        An *unfitted* symbolic summarization (``SAX`` for MESSI, ``SFA`` for
+        SOFA).  ``build`` fits it on the indexed dataset.
+    leaf_size:
+        Maximum number of series per leaf before the leaf splits (20 000 in the
+        paper; scaled-down datasets use smaller values).
+    split_policy:
+        ``"balanced"`` chooses the dimension whose next bit splits the node
+        most evenly (the iSAX2.0/MESSI heuristic); ``"round-robin"`` cycles
+        through dimensions in order.
+    transform_chunks:
+        Number of chunks the summarization stage is divided into; each chunk is
+        one work item for the virtual-core simulator.
+    """
+
+    def __init__(self, summarization: SymbolicSummarization, leaf_size: int = 100,
+                 split_policy: str = "balanced", transform_chunks: int = 36) -> None:
+        if leaf_size < 1:
+            raise InvalidParameterError(f"leaf_size must be >= 1, got {leaf_size}")
+        if split_policy not in SPLIT_POLICIES:
+            raise InvalidParameterError(
+                f"split_policy must be one of {SPLIT_POLICIES}, got '{split_policy}'"
+            )
+        if transform_chunks < 1:
+            raise InvalidParameterError("transform_chunks must be >= 1")
+        self.summarization = summarization
+        self.leaf_size = leaf_size
+        self.split_policy = split_policy
+        self.transform_chunks = transform_chunks
+
+        self.dataset: Dataset | None = None
+        self.root_children: dict[tuple[int, ...], Node] = {}
+        self.timings: BuildTimings = BuildTimings()
+        self._words: np.ndarray | None = None
+        # Leaf directory: every leaf plus its node-level quantization intervals
+        # stacked into two arrays so query-time leaf pruning is one batched
+        # lower-bound kernel call (see ``leaf_lower_bounds``).
+        self.leaf_nodes: list[LeafNode] = []
+        self._leaf_lower: np.ndarray | None = None
+        self._leaf_upper: np.ndarray | None = None
+        self._series_lower: np.ndarray | None = None
+        self._series_upper: np.ndarray | None = None
+        self._series_rows: np.ndarray | None = None
+
+    # ------------------------------------------------------------ building
+
+    @property
+    def is_built(self) -> bool:
+        return self.dataset is not None and bool(self.root_children)
+
+    @property
+    def num_series(self) -> int:
+        if self.dataset is None:
+            raise IndexError_("index has not been built yet")
+        return self.dataset.num_series
+
+    def build(self, dataset: Dataset) -> "TreeIndex":
+        """Fit the summarization, summarize all series and grow the tree."""
+        if not isinstance(dataset, Dataset):
+            dataset = Dataset(np.asarray(dataset, dtype=np.float64))
+        self.dataset = dataset
+        timings = BuildTimings()
+
+        start = time.perf_counter()
+        self.summarization.fit(dataset)
+        timings.learn_time = time.perf_counter() - start
+
+        words = self._summarize_in_chunks(dataset, timings)
+        self._words = words
+
+        buffers = fill_buffers(words, self.summarization.bits)
+        self.root_children = {}
+        for buffer in buffers:
+            start = time.perf_counter()
+            subtree = self._build_subtree(buffer)
+            timings.subtree_times.append(time.perf_counter() - start)
+            self.root_children[buffer.key] = subtree
+        self._build_leaf_directory()
+        self.timings = timings
+        return self
+
+    def _build_leaf_directory(self) -> None:
+        """Stack every leaf's node-level intervals for batched query pruning.
+
+        The directory also keeps a flat, per-series view (intervals and dataset
+        row of every indexed series, concatenated across leaves) used by the
+        searcher when the tree degenerates into very small leaves.
+        """
+        self.leaf_nodes = self.leaves()
+        lower_rows = []
+        upper_rows = []
+        for leaf in self.leaf_nodes:
+            lower, upper = self.summarization.bins.intervals(leaf.symbols, leaf.bits)
+            lower_rows.append(lower)
+            upper_rows.append(upper)
+        self._leaf_lower = np.vstack(lower_rows)
+        self._leaf_upper = np.vstack(upper_rows)
+        self._series_lower = np.vstack([leaf.lower for leaf in self.leaf_nodes])
+        self._series_upper = np.vstack([leaf.upper for leaf in self.leaf_nodes])
+        self._series_rows = np.concatenate([leaf.indices for leaf in self.leaf_nodes])
+
+    @property
+    def average_leaf_size(self) -> float:
+        """Mean number of series per leaf (used to pick the refinement strategy)."""
+        if not self.leaf_nodes:
+            return 0.0
+        return self.num_series / len(self.leaf_nodes)
+
+    def all_series_lower_bounds(self, query_summary: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Squared lower bounds between a query summary and every indexed series.
+
+        Returns ``(bounds, rows)`` where ``rows[i]`` is the dataset row the
+        ``i``-th bound belongs to.  One vectorized kernel call over the flat
+        per-series directory.
+        """
+        from repro.core.simd import batch_lower_bound
+
+        if self._series_lower is None:
+            raise IndexError_("index has not been built yet")
+        bounds = batch_lower_bound(query_summary, self._series_lower, self._series_upper,
+                                   self.summarization.weights)
+        return bounds, self._series_rows
+
+    def _summarize_in_chunks(self, dataset: Dataset, timings: BuildTimings) -> np.ndarray:
+        """Stage-1 summarization, chunked so each chunk is one simulator task."""
+        chunks = np.array_split(np.arange(dataset.num_series),
+                                min(self.transform_chunks, dataset.num_series))
+        word_blocks = []
+        for chunk in chunks:
+            if chunk.size == 0:
+                continue
+            start = time.perf_counter()
+            word_blocks.append(self.summarization.words(dataset.values[chunk]))
+            timings.transform_chunk_times.append(time.perf_counter() - start)
+        return np.vstack(word_blocks)
+
+    def _build_subtree(self, buffer: SummaryBuffer) -> Node:
+        """Build the subtree of one root child from its buffer."""
+        bits_per_symbol = self.summarization.bits
+        root_symbols = np.asarray(buffer.key, dtype=np.int64)
+        root_bits = np.ones(len(buffer.key), dtype=np.int64)
+        return self._grow(buffer.indices, buffer.words, root_symbols, root_bits,
+                          bits_per_symbol)
+
+    def _grow(self, indices: np.ndarray, words: np.ndarray, symbols: np.ndarray,
+              bits: np.ndarray, max_bits: int) -> Node:
+        if indices.shape[0] <= self.leaf_size or bool(np.all(bits >= max_bits)):
+            return self._make_leaf(indices, words, symbols, bits)
+
+        split_dimension, mask = self._choose_split(words, bits, max_bits)
+        if split_dimension is None:
+            # Every remaining dimension is degenerate (all series share the
+            # same next bit everywhere): the node cannot be split further.
+            return self._make_leaf(indices, words, symbols, bits)
+
+        left_symbols = symbols.copy()
+        right_symbols = symbols.copy()
+        left_bits = bits.copy()
+        right_bits = bits.copy()
+        left_symbols[split_dimension] = (symbols[split_dimension] << 1) | 0
+        right_symbols[split_dimension] = (symbols[split_dimension] << 1) | 1
+        left_bits[split_dimension] += 1
+        right_bits[split_dimension] += 1
+
+        node = InnerNode(symbols=symbols, bits=bits, split_dimension=split_dimension)
+        node.left = self._grow(indices[~mask], words[~mask], left_symbols, left_bits, max_bits)
+        node.right = self._grow(indices[mask], words[mask], right_symbols, right_bits, max_bits)
+        return node
+
+    def _choose_split(self, words: np.ndarray, bits: np.ndarray, max_bits: int
+                      ) -> tuple[int | None, np.ndarray | None]:
+        """Pick the dimension to split on and return the right-child mask."""
+        candidates = np.flatnonzero(bits < max_bits)
+        if self.split_policy == "round-robin":
+            # Split the least-refined dimension first, in index order.
+            candidates = candidates[np.argsort(bits[candidates], kind="stable")]
+            for dimension in candidates:
+                mask = self._next_bit(words, bits, dimension, max_bits).astype(bool)
+                ones = int(mask.sum())
+                if 0 < ones < mask.shape[0]:
+                    return int(dimension), mask
+            return None, None
+
+        best_dimension = None
+        best_mask = None
+        best_imbalance = None
+        for dimension in candidates:
+            mask = self._next_bit(words, bits, dimension, max_bits).astype(bool)
+            ones = int(mask.sum())
+            if ones == 0 or ones == mask.shape[0]:
+                continue
+            imbalance = abs(mask.shape[0] - 2 * ones)
+            # Prefer balanced splits; among equals prefer coarser dimensions so
+            # cardinalities grow evenly across the word (as in iSAX2.0).
+            key = (imbalance, int(bits[dimension]))
+            if best_imbalance is None or key < best_imbalance:
+                best_imbalance = key
+                best_dimension = int(dimension)
+                best_mask = mask
+        return best_dimension, best_mask
+
+    @staticmethod
+    def _next_bit(words: np.ndarray, bits: np.ndarray, dimension: int, max_bits: int
+                  ) -> np.ndarray:
+        """The next (not yet used) bit of every word in ``dimension``."""
+        shift = max_bits - int(bits[dimension]) - 1
+        return (words[:, dimension] >> shift) & 1
+
+    def _make_leaf(self, indices: np.ndarray, words: np.ndarray, symbols: np.ndarray,
+                   bits: np.ndarray) -> LeafNode:
+        lower, upper = self.summarization.bins.intervals(words)
+        return LeafNode(symbols=symbols, bits=bits, indices=indices.astype(np.int64),
+                        words=words, lower=lower, upper=upper)
+
+    # ----------------------------------------------------------- inspection
+
+    def leaves(self) -> list[LeafNode]:
+        """Every leaf of the index."""
+        result: list[LeafNode] = []
+        for subtree in self.root_children.values():
+            result.extend(subtree.iter_leaves())
+        return result
+
+    def node_lower_bound(self, query_summary: np.ndarray, node: Node) -> float:
+        """Squared lower bound between a query summary and a node's region."""
+        return self.summarization.mindist(query_summary, node.symbols, node.bits)
+
+    def leaf_lower_bounds(self, query_summary: np.ndarray) -> np.ndarray:
+        """Squared lower bounds between a query summary and every leaf's region.
+
+        One vectorized kernel call over the leaf directory — the query-time
+        analogue of MESSI's parallel subtree traversal.
+        """
+        from repro.core.simd import batch_lower_bound
+
+        if self._leaf_lower is None:
+            raise IndexError_("index has not been built yet")
+        return batch_lower_bound(query_summary, self._leaf_lower, self._leaf_upper,
+                                 self.summarization.weights)
+
+    def series_lower_bounds(self, query_summary: np.ndarray, leaf: LeafNode) -> np.ndarray:
+        """Squared lower bounds between a query summary and every series of a leaf."""
+        from repro.core.simd import batch_lower_bound
+
+        return batch_lower_bound(query_summary, leaf.lower, leaf.upper,
+                                 self.summarization.weights)
+
+    def __len__(self) -> int:
+        return self.num_series

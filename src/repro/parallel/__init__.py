@@ -1,0 +1,22 @@
+"""Parallel substrate: a real thread pool and a virtual-core cost simulator."""
+
+from repro.parallel.pool import WorkerPool, chunk_indices
+from repro.parallel.simulator import (
+    DEFAULT_SYNC_OVERHEAD,
+    PhaseTiming,
+    SimulatedRun,
+    SimulatedSchedule,
+    schedule_tasks,
+    split_into_chunks,
+)
+
+__all__ = [
+    "DEFAULT_SYNC_OVERHEAD",
+    "PhaseTiming",
+    "SimulatedRun",
+    "SimulatedSchedule",
+    "WorkerPool",
+    "chunk_indices",
+    "schedule_tasks",
+    "split_into_chunks",
+]

@@ -1,0 +1,53 @@
+"""Thin thread-pool wrapper and chunking helpers.
+
+MESSI and SOFA are multi-threaded systems; the reproduction keeps a real
+thread-pool backend for code paths that release the GIL (NumPy kernels) and for
+exercising the concurrency structure in tests, while the *scaling experiments*
+use the deterministic simulator in :mod:`repro.parallel.simulator`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def chunk_indices(total: int, num_chunks: int) -> list[np.ndarray]:
+    """Split ``range(total)`` into ``num_chunks`` near-equal index arrays."""
+    if total < 0:
+        raise InvalidParameterError("total must be non-negative")
+    if num_chunks < 1:
+        raise InvalidParameterError("num_chunks must be >= 1")
+    return [chunk for chunk in np.array_split(np.arange(total), num_chunks)]
+
+
+class WorkerPool:
+    """A small wrapper around :class:`ThreadPoolExecutor` with a map helper.
+
+    ``num_workers=1`` short-circuits to an in-line loop so single-threaded runs
+    are deterministic and easy to profile.
+    """
+
+    def __init__(self, num_workers: int = 1) -> None:
+        if num_workers < 1:
+            raise InvalidParameterError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+
+    def map(self, function: Callable[[T], R], items: Sequence[T] | Iterable[T]) -> list[R]:
+        """Apply ``function`` to every item, preserving order."""
+        items = list(items)
+        if self.num_workers == 1 or len(items) <= 1:
+            return [function(item) for item in items]
+        with ThreadPoolExecutor(max_workers=self.num_workers) as executor:
+            return list(executor.map(function, items))
+
+    def starmap(self, function: Callable[..., R], argument_tuples: Iterable[tuple]) -> list[R]:
+        """Apply ``function`` to every argument tuple, preserving order."""
+        return self.map(lambda arguments: function(*arguments), list(argument_tuples))

@@ -1,0 +1,148 @@
+"""Virtual-core cost model used by the scaling experiments.
+
+The paper measures index-construction and query times on a 36-core server with
+9, 18 and 36 worker threads.  CPython threads cannot demonstrate that scaling,
+so the library separates *what work is done* from *how long it would take on p
+cores*: algorithms report the per-task costs they actually measured (seconds of
+single-threaded work per chunk, per subtree, or per priority-queue leaf), and
+this module turns a list of task costs into a simulated parallel makespan.
+
+The model is deliberately simple and deterministic:
+
+* tasks are assigned to workers greedily, longest processing time first (LPT),
+  which is how MESSI's work stealing behaves in the limit;
+* each synchronization point adds ``sync_overhead`` seconds per worker, so
+  adding workers eventually stops paying off — the effect visible in Figure 7
+  where 36 cores can be slower than 18 for index construction;
+* an optional serial fraction models work that cannot be parallelised
+  (Amdahl's law).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+
+#: Default synchronization overhead per worker per barrier, in seconds.
+DEFAULT_SYNC_OVERHEAD = 2e-5
+
+
+@dataclass
+class SimulatedSchedule:
+    """Result of scheduling a list of task costs onto virtual workers."""
+
+    num_workers: int
+    makespan: float
+    worker_loads: np.ndarray
+    serial_time: float
+    sync_overhead: float
+
+    @property
+    def total_time(self) -> float:
+        """Simulated wall-clock time: serial part + parallel makespan + sync."""
+        return self.serial_time + self.makespan + self.sync_overhead
+
+    @property
+    def total_work(self) -> float:
+        """Sum of all task costs (the single-core time of the parallel part)."""
+        return float(self.worker_loads.sum())
+
+    @property
+    def speedup(self) -> float:
+        """Speed-up of the simulated schedule over one worker."""
+        single = self.serial_time + self.total_work + self.sync_overhead / max(self.num_workers, 1)
+        return single / self.total_time if self.total_time > 0 else 1.0
+
+
+def schedule_tasks(task_costs: "np.ndarray | list[float]", num_workers: int,
+                   serial_time: float = 0.0,
+                   sync_overhead: float = DEFAULT_SYNC_OVERHEAD,
+                   num_barriers: int = 1) -> SimulatedSchedule:
+    """Assign task costs to virtual workers and return the simulated schedule.
+
+    Parameters
+    ----------
+    task_costs:
+        Measured single-threaded cost of each independent task, in seconds.
+    num_workers:
+        Number of virtual cores.
+    serial_time:
+        Time of the non-parallelisable portion (Amdahl's serial fraction).
+    sync_overhead:
+        Per-worker cost of one synchronization barrier; the total overhead is
+        ``num_barriers * sync_overhead * num_workers`` to reflect that more
+        workers mean more cache-line and lock traffic.
+    num_barriers:
+        Number of synchronization points in the parallel phase.
+    """
+    if num_workers < 1:
+        raise InvalidParameterError(f"num_workers must be >= 1, got {num_workers}")
+    costs = np.asarray(task_costs, dtype=np.float64)
+    if costs.ndim != 1:
+        raise InvalidParameterError("task_costs must be a flat list of costs")
+    if (costs < 0).any():
+        raise InvalidParameterError("task costs must be non-negative")
+
+    loads = np.zeros(num_workers, dtype=np.float64)
+    # Longest processing time first: sort descending, always give the next
+    # task to the least-loaded worker.
+    for cost in np.sort(costs)[::-1]:
+        loads[np.argmin(loads)] += cost
+    overhead = num_barriers * sync_overhead * num_workers
+    return SimulatedSchedule(
+        num_workers=num_workers,
+        makespan=float(loads.max(initial=0.0)),
+        worker_loads=loads,
+        serial_time=float(serial_time),
+        sync_overhead=float(overhead),
+    )
+
+
+@dataclass
+class PhaseTiming:
+    """Timing of one named phase of a larger simulated computation."""
+
+    name: str
+    schedule: SimulatedSchedule
+
+    @property
+    def time(self) -> float:
+        return self.schedule.total_time
+
+
+@dataclass
+class SimulatedRun:
+    """A multi-phase simulated execution (e.g. learn bins → transform → build tree)."""
+
+    num_workers: int
+    phases: list[PhaseTiming] = field(default_factory=list)
+
+    def add_phase(self, name: str, task_costs, serial_time: float = 0.0,
+                  sync_overhead: float = DEFAULT_SYNC_OVERHEAD,
+                  num_barriers: int = 1) -> PhaseTiming:
+        schedule = schedule_tasks(task_costs, self.num_workers, serial_time,
+                                  sync_overhead, num_barriers)
+        phase = PhaseTiming(name=name, schedule=schedule)
+        self.phases.append(phase)
+        return phase
+
+    @property
+    def total_time(self) -> float:
+        return sum(phase.time for phase in self.phases)
+
+    def phase_times(self) -> dict[str, float]:
+        return {phase.name: phase.time for phase in self.phases}
+
+
+def split_into_chunks(total_items: int, num_chunks: int) -> list[int]:
+    """Sizes of near-equal chunks, used to partition work across workers."""
+    if total_items < 0:
+        raise InvalidParameterError("total_items must be non-negative")
+    if num_chunks < 1:
+        raise InvalidParameterError("num_chunks must be >= 1")
+    base = total_items // num_chunks
+    remainder = total_items % num_chunks
+    return [base + (1 if i < remainder else 0) for i in range(num_chunks)]

@@ -1,0 +1,86 @@
+"""Chebyshev-polynomial summarization.
+
+Cai & Ng proposed indexing series by the leading coefficients of their
+Chebyshev expansion.  As with PLA, the summary is an orthogonal projection of
+the series (onto the space spanned by the first Chebyshev polynomials sampled
+at the series positions, after orthonormalisation), so the distance between
+two summaries lower-bounds the Euclidean distance between the raw series.
+
+This baseline is included for the wider TLB comparison referenced in the
+related-work section of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.transforms.base import Summarization, _as_matrix
+
+
+def _chebyshev_basis(length: int, degree: int) -> np.ndarray:
+    """Orthonormal basis of the first ``degree`` Chebyshev polynomials.
+
+    The polynomials are evaluated on the ``length`` sample positions mapped to
+    [-1, 1] and then orthonormalised with a QR decomposition so that projection
+    coefficients live in the same metric as the raw series.
+    """
+    positions = np.linspace(-1.0, 1.0, length)
+    basis = np.empty((length, degree), dtype=np.float64)
+    for k in range(degree):
+        coefficients = np.zeros(k + 1)
+        coefficients[-1] = 1.0
+        basis[:, k] = np.polynomial.chebyshev.chebval(positions, coefficients)
+    orthonormal, _ = np.linalg.qr(basis)
+    return orthonormal
+
+
+class Chebyshev(Summarization):
+    """Chebyshev-coefficient summarization (related-work baseline)."""
+
+    def __init__(self, word_length: int = 16) -> None:
+        if word_length < 1:
+            raise InvalidParameterError(f"word_length must be positive, got {word_length}")
+        self.word_length = word_length
+        self.series_length: int | None = None
+        self._basis: np.ndarray | None = None
+
+    def fit(self, data) -> "Chebyshev":
+        matrix = _as_matrix(data)
+        if self.word_length > matrix.shape[1]:
+            raise InvalidParameterError(
+                f"word_length {self.word_length} exceeds series length {matrix.shape[1]}"
+            )
+        self.series_length = matrix.shape[1]
+        self._basis = _chebyshev_basis(self.series_length, self.word_length)
+        return self
+
+    def _require_fitted(self) -> None:
+        if self._basis is None:
+            raise InvalidParameterError("Chebyshev must be fitted before use")
+
+    def transform(self, series: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        series = np.asarray(series, dtype=np.float64)
+        if series.shape[0] != self.series_length:
+            raise InvalidParameterError(
+                f"expected series of length {self.series_length}, got {series.shape[0]}"
+            )
+        return self._basis.T @ series
+
+    def transform_batch(self, data) -> np.ndarray:
+        self._require_fitted()
+        matrix = _as_matrix(data)
+        return matrix @ self._basis
+
+    def lower_bound(self, summary_a: np.ndarray, summary_b: np.ndarray) -> float:
+        """Distance between projection coefficients (orthonormal basis)."""
+        summary_a = np.asarray(summary_a, dtype=np.float64)
+        summary_b = np.asarray(summary_b, dtype=np.float64)
+        return float(np.linalg.norm(summary_a - summary_b))
+
+    def reconstruct(self, summary: np.ndarray, length: int) -> np.ndarray:
+        self._require_fitted()
+        if length != self.series_length:
+            raise InvalidParameterError("reconstruction length must match the fitted length")
+        return self._basis @ np.asarray(summary, dtype=np.float64)

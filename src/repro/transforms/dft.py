@@ -1,0 +1,147 @@
+"""Discrete Fourier Transform features and the DFT lower bound.
+
+The orthonormal real DFT (``numpy.fft.rfft`` with ``norm="ortho"``) satisfies
+Parseval's identity
+
+    d_ED(A, B)² = Σ_k w_k · |X_k(A) − X_k(B)|²
+
+with per-coefficient weight ``w_k = 1`` for the DC coefficient (and the Nyquist
+coefficient when the series length is even) and ``w_k = 2`` otherwise, because
+the negative-frequency half of the spectrum mirrors the positive half.
+Retaining a subset of the real/imaginary components can therefore only shrink
+the sum, which yields the Rafiei–Mendelzon lower bound (Equation 1 in the
+paper) and, after quantization, the SFA lower bound.
+
+This module exposes the component layout used throughout the library: the
+complex spectrum is flattened into alternating (real, imaginary) columns so a
+"component" always means one real number with an attached weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.transforms.base import Summarization, _as_matrix
+
+
+def rfft_components(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten the orthonormal rfft of each row into real/imag component columns.
+
+    Parameters
+    ----------
+    matrix:
+        2-D array of series (one per row), length ``n``.
+
+    Returns
+    -------
+    components:
+        Array of shape ``(num_series, 2 * (n // 2 + 1))`` with columns ordered
+        ``re(X_0), im(X_0), re(X_1), im(X_1), …``.
+    weights:
+        Per-column Parseval weights (1 for DC and Nyquist columns, 2 otherwise).
+        The imaginary columns of DC and Nyquist are always zero; they keep
+        weight 1 and are never selected by variance-based selection.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise InvalidParameterError(f"expected a 2-D batch, got shape {matrix.shape}")
+    spectrum = np.fft.rfft(matrix, norm="ortho")
+    num_coefficients = spectrum.shape[1]
+    components = np.empty((matrix.shape[0], 2 * num_coefficients), dtype=np.float64)
+    components[:, 0::2] = spectrum.real
+    components[:, 1::2] = spectrum.imag
+    weights = component_weights(matrix.shape[1])
+    return components, weights
+
+
+def component_weights(series_length: int) -> np.ndarray:
+    """Parseval weights for the flattened component layout of ``rfft_components``."""
+    if series_length < 1:
+        raise InvalidParameterError(f"series_length must be positive, got {series_length}")
+    num_coefficients = series_length // 2 + 1
+    weights = np.full(2 * num_coefficients, 2.0)
+    weights[0] = weights[1] = 1.0  # DC coefficient
+    if series_length % 2 == 0:
+        weights[-2] = weights[-1] = 1.0  # Nyquist coefficient
+    return weights
+
+
+def reconstruct_from_components(components: np.ndarray, selected: np.ndarray,
+                                series_length: int) -> np.ndarray:
+    """Inverse transform keeping only the selected flattened components.
+
+    Used for the Figure 1 style comparison of PAA versus Fourier
+    reconstructions.
+    """
+    components = np.asarray(components, dtype=np.float64)
+    selected = np.asarray(selected, dtype=np.int64)
+    num_coefficients = series_length // 2 + 1
+    full = np.zeros(2 * num_coefficients, dtype=np.float64)
+    full[selected] = components
+    spectrum = full[0::2] + 1j * full[1::2]
+    return np.fft.irfft(spectrum, n=series_length, norm="ortho")
+
+
+class DFT(Summarization):
+    """Truncated orthonormal DFT with the Rafiei–Mendelzon lower bound.
+
+    Parameters
+    ----------
+    word_length:
+        Number of retained real-valued components (real and imaginary parts
+        count separately, matching the paper's "16 values = 8 coefficients").
+    skip_dc:
+        Drop the DC component before truncation.  The mean of a z-normalized
+        series is zero, so this is lossless in the default pipeline.
+    """
+
+    def __init__(self, word_length: int = 16, skip_dc: bool = True) -> None:
+        if word_length < 1:
+            raise InvalidParameterError(f"word_length must be positive, got {word_length}")
+        self.word_length = word_length
+        self.skip_dc = skip_dc
+        self.series_length: int | None = None
+        self.selected_components: np.ndarray | None = None
+        self.weights: np.ndarray | None = None
+
+    def fit(self, data) -> "DFT":
+        matrix = _as_matrix(data)
+        self.series_length = matrix.shape[1]
+        all_weights = component_weights(self.series_length)
+        start = 2 if self.skip_dc else 0
+        candidates = np.arange(start, all_weights.shape[0])
+        if self.word_length > candidates.shape[0]:
+            raise InvalidParameterError(
+                f"word_length {self.word_length} exceeds the {candidates.shape[0]} "
+                "available spectral components"
+            )
+        self.selected_components = candidates[:self.word_length]
+        self.weights = all_weights[self.selected_components]
+        return self
+
+    def _require_fitted(self) -> None:
+        if self.selected_components is None:
+            raise InvalidParameterError("DFT must be fitted before use")
+
+    def transform(self, series: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        series = np.asarray(series, dtype=np.float64)
+        components, _ = rfft_components(series.reshape(1, -1))
+        return components[0, self.selected_components]
+
+    def transform_batch(self, data) -> np.ndarray:
+        self._require_fitted()
+        components, _ = rfft_components(_as_matrix(data))
+        return components[:, self.selected_components]
+
+    def lower_bound(self, summary_a: np.ndarray, summary_b: np.ndarray) -> float:
+        self._require_fitted()
+        summary_a = np.asarray(summary_a, dtype=np.float64)
+        summary_b = np.asarray(summary_b, dtype=np.float64)
+        diff = summary_a - summary_b
+        return float(np.sqrt(np.sum(self.weights * diff * diff)))
+
+    def reconstruct(self, summary: np.ndarray, length: int) -> np.ndarray:
+        self._require_fitted()
+        return reconstruct_from_components(summary, self.selected_components, length)

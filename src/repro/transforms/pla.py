@@ -1,0 +1,97 @@
+"""Piecewise Linear Approximation (PLA).
+
+PLA represents each fixed-length segment of a series with the least-squares
+line through its values, i.e. two numbers (intercept, slope) per segment.  It
+is one of the numeric related-work summarizations compared by pruning power in
+the study the paper cites; it is included here so the wider TLB comparison can
+be reproduced.
+
+The lower bound between two PLA summaries follows from the orthogonality of
+the least-squares projection: on every segment the projections of the two
+series onto the space of linear functions differ by at most their Euclidean
+distance, so the sum over segments of the squared distance between the fitted
+lines (evaluated at the sample points) lower-bounds the squared Euclidean
+distance of the raw series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.errors import InvalidParameterError
+from repro.transforms.base import Summarization, _as_matrix
+
+
+def _segment_bounds(length: int, num_segments: int) -> np.ndarray:
+    return np.linspace(0, length, num_segments + 1).astype(int)
+
+
+def pla_transform(series: np.ndarray, num_segments: int) -> np.ndarray:
+    """Least-squares (intercept, slope) pairs per segment, flattened."""
+    series = np.asarray(series, dtype=np.float64)
+    if series.ndim != 1:
+        raise InvalidParameterError(f"expected a 1-D series, got shape {series.shape}")
+    length = series.shape[0]
+    if not 0 < num_segments <= length:
+        raise InvalidParameterError(
+            f"num_segments must be in [1, {length}], got {num_segments}"
+        )
+    bounds = _segment_bounds(length, num_segments)
+    summary = np.empty(2 * num_segments, dtype=np.float64)
+    for i in range(num_segments):
+        segment = series[bounds[i]:bounds[i + 1]]
+        positions = np.arange(segment.shape[0], dtype=np.float64)
+        if segment.shape[0] == 1:
+            intercept, slope = segment[0], 0.0
+        else:
+            slope, intercept = np.polyfit(positions, segment, deg=1)
+        summary[2 * i] = intercept
+        summary[2 * i + 1] = slope
+    return summary
+
+
+class PLA(Summarization):
+    """Piecewise Linear Approximation (related-work baseline)."""
+
+    def __init__(self, num_segments: int = 8) -> None:
+        if num_segments < 1:
+            raise InvalidParameterError(f"num_segments must be positive, got {num_segments}")
+        self.num_segments = num_segments
+        self.word_length = 2 * num_segments
+        self.series_length: int | None = None
+
+    def fit(self, data) -> "PLA":
+        matrix = _as_matrix(data)
+        if self.num_segments > matrix.shape[1]:
+            raise InvalidParameterError(
+                f"num_segments {self.num_segments} exceeds series length {matrix.shape[1]}"
+            )
+        self.series_length = matrix.shape[1]
+        return self
+
+    def transform(self, series: np.ndarray) -> np.ndarray:
+        return pla_transform(series, self.num_segments)
+
+    def reconstruct(self, summary: np.ndarray, length: int) -> np.ndarray:
+        summary = np.asarray(summary, dtype=np.float64)
+        bounds = _segment_bounds(length, self.num_segments)
+        series = np.empty(length, dtype=np.float64)
+        for i in range(self.num_segments):
+            intercept = summary[2 * i]
+            slope = summary[2 * i + 1]
+            positions = np.arange(bounds[i + 1] - bounds[i], dtype=np.float64)
+            series[bounds[i]:bounds[i + 1]] = intercept + slope * positions
+        return series
+
+    def lower_bound(self, summary_a: np.ndarray, summary_b: np.ndarray) -> float:
+        """Distance between the two piecewise-linear reconstructions.
+
+        Because both reconstructions are orthogonal projections onto the same
+        per-segment linear subspace, the distance between the projections
+        lower-bounds the distance between the original series.
+        """
+        if self.series_length is None:
+            raise InvalidParameterError("PLA must be fitted before use")
+        reconstruction_a = self.reconstruct(summary_a, self.series_length)
+        reconstruction_b = self.reconstruct(summary_b, self.series_length)
+        return float(np.linalg.norm(reconstruction_a - reconstruction_b))

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite.
+
+The fixtures provide small, deterministic datasets so that the full suite runs
+in well under a minute while still exercising every code path: a clustered
+high-frequency dataset (where SOFA's pruning advantage shows), a smooth
+low-frequency dataset, and held-out query sets for both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.series import Dataset
+from repro.datasets.registry import load_dataset
+from repro.datasets.synthetic import oscillatory, random_walk, smooth_signal
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_matrix() -> np.ndarray:
+    """A tiny raw matrix of random-walk series (not wrapped in a Dataset)."""
+    return random_walk(40, 64, seed=7)
+
+
+@pytest.fixture(scope="session")
+def walk_dataset() -> Dataset:
+    """A small random-walk dataset, z-normalized."""
+    return Dataset(random_walk(120, 64, seed=3), name="walk")
+
+
+@pytest.fixture(scope="session")
+def oscillatory_dataset() -> Dataset:
+    """A small high-frequency dataset, z-normalized."""
+    return Dataset(oscillatory(120, 128, seed=5), name="osc")
+
+
+@pytest.fixture(scope="session")
+def smooth_dataset() -> Dataset:
+    """A small smooth low-frequency dataset, z-normalized."""
+    return Dataset(smooth_signal(120, 128, seed=9), name="smooth")
+
+
+@pytest.fixture(scope="session")
+def clustered_index_and_queries() -> tuple[Dataset, Dataset]:
+    """A clustered high-frequency benchmark dataset split into index/query sets."""
+    dataset = load_dataset("LenDB", num_series=600, seed=11)
+    return dataset.split(20, rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="session")
+def lowfreq_index_and_queries() -> tuple[Dataset, Dataset]:
+    """A clustered low-frequency benchmark dataset split into index/query sets."""
+    dataset = load_dataset("SALD", num_series=600, seed=13)
+    return dataset.split(20, rng=np.random.default_rng(0))

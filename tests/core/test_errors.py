@@ -1,0 +1,33 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.core.errors import (
+    DatasetError,
+    IndexError_,
+    InvalidParameterError,
+    NotFittedError,
+    ReproError,
+    SearchError,
+)
+
+
+@pytest.mark.parametrize("exception_type", [
+    NotFittedError, InvalidParameterError, DatasetError, IndexError_, SearchError,
+])
+def test_every_library_error_derives_from_repro_error(exception_type):
+    assert issubclass(exception_type, ReproError)
+
+
+def test_repro_error_is_an_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_catching_base_class_catches_subclasses():
+    with pytest.raises(ReproError):
+        raise DatasetError("bad data")
+
+
+def test_index_error_does_not_shadow_builtin():
+    assert IndexError_ is not IndexError
+    assert not issubclass(IndexError_, IndexError)

@@ -1,0 +1,98 @@
+"""Tests for z-normalization utilities."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.normalization import is_znormalized, znormalize, znormalize_batch
+
+
+class TestZnormalize:
+    def test_zero_mean_unit_std(self):
+        series = np.array([1.0, 2.0, 3.0, 4.0, 5.0])
+        normalized = znormalize(series)
+        assert abs(normalized.mean()) < 1e-12
+        assert abs(normalized.std() - 1.0) < 1e-12
+
+    def test_constant_series_maps_to_zero(self):
+        series = np.full(16, 3.7)
+        normalized = znormalize(series)
+        assert np.allclose(normalized, 0.0)
+
+    def test_already_normalized_is_idempotent(self):
+        rng = np.random.default_rng(0)
+        series = znormalize(rng.standard_normal(50))
+        again = znormalize(series)
+        assert np.allclose(series, again)
+
+    def test_shift_and_scale_invariance(self):
+        rng = np.random.default_rng(1)
+        series = rng.standard_normal(64)
+        shifted = 5.0 * series + 100.0
+        assert np.allclose(znormalize(series), znormalize(shifted))
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            znormalize(np.zeros((3, 4)))
+
+    def test_preserves_length(self):
+        series = np.arange(17, dtype=float)
+        assert znormalize(series).shape == (17,)
+
+
+class TestZnormalizeBatch:
+    def test_matches_per_row_normalization(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.standard_normal((10, 32)) * 3 + 1
+        batch = znormalize_batch(matrix)
+        rows = np.vstack([znormalize(row) for row in matrix])
+        assert np.allclose(batch, rows)
+
+    def test_constant_rows_map_to_zero(self):
+        matrix = np.vstack([np.full(8, 2.0), np.arange(8, dtype=float)])
+        batch = znormalize_batch(matrix)
+        assert np.allclose(batch[0], 0.0)
+        assert abs(batch[1].mean()) < 1e-12
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            znormalize_batch(np.zeros(8))
+
+    def test_does_not_modify_input(self):
+        matrix = np.arange(12, dtype=float).reshape(3, 4)
+        original = matrix.copy()
+        znormalize_batch(matrix)
+        assert np.array_equal(matrix, original)
+
+
+class TestIsZnormalized:
+    def test_accepts_normalized_batch(self):
+        rng = np.random.default_rng(3)
+        matrix = znormalize_batch(rng.standard_normal((5, 40)))
+        assert is_znormalized(matrix)
+
+    def test_accepts_zero_rows(self):
+        assert is_znormalized(np.zeros((2, 10)))
+
+    def test_rejects_unnormalized_data(self):
+        assert not is_znormalized(np.arange(20, dtype=float).reshape(2, 10) + 5)
+
+    def test_accepts_single_series(self):
+        series = znormalize(np.arange(10, dtype=float))
+        assert is_znormalized(series)
+
+
+@given(arrays(np.float64, st.integers(min_value=4, max_value=128),
+              elements=st.floats(min_value=-1e6, max_value=1e6,
+                                 allow_nan=False, allow_infinity=False)))
+@settings(max_examples=50, deadline=None)
+def test_znormalize_property(series):
+    """For any finite series the result has mean ~0 and std ~1 (or is all zero)."""
+    normalized = znormalize(series)
+    assert normalized.shape == series.shape
+    if np.allclose(normalized, 0.0):
+        return
+    assert abs(normalized.mean()) < 1e-6
+    assert abs(normalized.std() - 1.0) < 1e-6

@@ -1,0 +1,111 @@
+"""Tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import DatasetError
+from repro.core.normalization import is_znormalized
+from repro.core.series import Dataset
+
+
+class TestConstruction:
+    def test_normalizes_by_default(self, small_matrix):
+        dataset = Dataset(small_matrix)
+        assert is_znormalized(dataset.values)
+
+    def test_normalize_false_keeps_raw_values(self, small_matrix):
+        dataset = Dataset(small_matrix, normalize=False)
+        assert np.allclose(dataset.values, small_matrix)
+
+    def test_1d_input_becomes_single_row(self):
+        dataset = Dataset(np.arange(16, dtype=float))
+        assert dataset.num_series == 1
+        assert dataset.series_length == 16
+
+    def test_rejects_3d_input(self):
+        with pytest.raises(DatasetError):
+            Dataset(np.zeros((2, 3, 4)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            Dataset(np.zeros((0, 10)))
+
+    def test_rejects_nan(self):
+        values = np.ones((3, 5))
+        values[1, 2] = np.nan
+        with pytest.raises(DatasetError):
+            Dataset(values)
+
+    def test_rejects_infinite(self):
+        values = np.ones((3, 5))
+        values[0, 0] = np.inf
+        with pytest.raises(DatasetError):
+            Dataset(values)
+
+    def test_metadata_defaults_to_empty_dict(self, small_matrix):
+        assert Dataset(small_matrix).metadata == {}
+
+
+class TestAccessors:
+    def test_len_and_getitem(self, small_matrix):
+        dataset = Dataset(small_matrix)
+        assert len(dataset) == small_matrix.shape[0]
+        assert dataset[0].shape == (small_matrix.shape[1],)
+
+    def test_describe_contains_expected_keys(self, small_matrix):
+        info = Dataset(small_matrix, name="toy").describe()
+        assert info["name"] == "toy"
+        assert info["num_series"] == small_matrix.shape[0]
+        assert info["series_length"] == small_matrix.shape[1]
+        assert set(info) >= {"mean", "std", "min", "max"}
+
+
+class TestSample:
+    def test_sample_size(self, walk_dataset):
+        sample = walk_dataset.sample(0.1, rng=np.random.default_rng(0))
+        assert sample.shape[0] == max(1, round(0.1 * walk_dataset.num_series))
+
+    def test_sample_full_fraction_returns_everything(self, walk_dataset):
+        sample = walk_dataset.sample(1.0, rng=np.random.default_rng(0))
+        assert sample.shape == walk_dataset.values.shape
+
+    def test_tiny_fraction_returns_at_least_one(self, walk_dataset):
+        sample = walk_dataset.sample(1e-9, rng=np.random.default_rng(0))
+        assert sample.shape[0] == 1
+
+    def test_invalid_fraction_raises(self, walk_dataset):
+        with pytest.raises(DatasetError):
+            walk_dataset.sample(0.0)
+        with pytest.raises(DatasetError):
+            walk_dataset.sample(1.5)
+
+    def test_sample_rows_come_from_dataset(self, walk_dataset):
+        sample = walk_dataset.sample(0.2, rng=np.random.default_rng(1))
+        for row in sample:
+            assert any(np.allclose(row, existing) for existing in walk_dataset.values)
+
+
+class TestSplit:
+    def test_split_sizes(self, walk_dataset):
+        index_set, queries = walk_dataset.split(10, rng=np.random.default_rng(0))
+        assert queries.num_series == 10
+        assert index_set.num_series == walk_dataset.num_series - 10
+
+    def test_split_is_disjoint_and_covering(self, walk_dataset):
+        index_set, queries = walk_dataset.split(15, rng=np.random.default_rng(2))
+        combined = np.vstack([index_set.values, queries.values])
+        original_sorted = np.sort(walk_dataset.values.sum(axis=1))
+        combined_sorted = np.sort(combined.sum(axis=1))
+        assert np.allclose(original_sorted, combined_sorted)
+
+    def test_split_invalid_count_raises(self, walk_dataset):
+        with pytest.raises(DatasetError):
+            walk_dataset.split(0)
+        with pytest.raises(DatasetError):
+            walk_dataset.split(walk_dataset.num_series)
+
+    def test_split_deterministic_with_seeded_rng(self, walk_dataset):
+        first = walk_dataset.split(5, rng=np.random.default_rng(42))
+        second = walk_dataset.split(5, rng=np.random.default_rng(42))
+        assert np.allclose(first[0].values, second[0].values)
+        assert np.allclose(first[1].values, second[1].values)

@@ -1,0 +1,164 @@
+"""Tests for the SIMD-style lower-bound kernels (Algorithm 3 reproduction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.simd import (
+    batch_lower_bound,
+    chunked_masked_lower_bound,
+    scalar_lower_bound,
+    vectorized_lower_bound,
+)
+
+
+def _random_case(seed: int, dims: int = 16):
+    """A random (query, lower, upper, weights) tuple with valid intervals."""
+    rng = np.random.default_rng(seed)
+    query = rng.standard_normal(dims)
+    centers = rng.standard_normal(dims)
+    widths = rng.uniform(0.1, 2.0, dims)
+    lower = centers - widths / 2
+    upper = centers + widths / 2
+    weights = rng.uniform(0.5, 3.0, dims)
+    return query, lower, upper, weights
+
+
+class TestKernelAgreement:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_chunked_equals_vectorized(self, seed):
+        query, lower, upper, weights = _random_case(seed)
+        chunked = chunked_masked_lower_bound(query, lower, upper, weights)
+        vectorized = vectorized_lower_bound(query, lower, upper, weights)
+        assert chunked == pytest.approx(vectorized)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_scalar_equals_vectorized(self, seed):
+        query, lower, upper, weights = _random_case(seed)
+        scalar = scalar_lower_bound(query, lower, upper, weights)
+        vectorized = vectorized_lower_bound(query, lower, upper, weights)
+        assert scalar == pytest.approx(vectorized)
+
+    @pytest.mark.parametrize("lane_width", [1, 3, 8, 16, 100])
+    def test_lane_width_does_not_change_result(self, lane_width):
+        query, lower, upper, weights = _random_case(99, dims=33)
+        reference = vectorized_lower_bound(query, lower, upper, weights)
+        chunked = chunked_masked_lower_bound(query, lower, upper, weights,
+                                             lane_width=lane_width)
+        assert chunked == pytest.approx(reference)
+
+
+class TestSemantics:
+    def test_inside_interval_contributes_zero(self):
+        query = np.array([0.5, -0.5])
+        lower = np.array([0.0, -1.0])
+        upper = np.array([1.0, 0.0])
+        assert vectorized_lower_bound(query, lower, upper) == 0.0
+
+    def test_below_interval_uses_lower_breakpoint(self):
+        query = np.array([-2.0])
+        lower = np.array([1.0])
+        upper = np.array([3.0])
+        assert vectorized_lower_bound(query, lower, upper) == pytest.approx(9.0)
+
+    def test_above_interval_uses_upper_breakpoint(self):
+        query = np.array([5.0])
+        lower = np.array([1.0])
+        upper = np.array([3.0])
+        assert vectorized_lower_bound(query, lower, upper) == pytest.approx(4.0)
+
+    def test_weights_scale_squared_gaps(self):
+        query = np.array([5.0])
+        lower = np.array([1.0])
+        upper = np.array([3.0])
+        weights = np.array([2.0])
+        assert vectorized_lower_bound(query, lower, upper, weights) == pytest.approx(8.0)
+
+    def test_unbounded_intervals_contribute_zero(self):
+        query = np.array([1e9, -1e9])
+        lower = np.array([-np.inf, -np.inf])
+        upper = np.array([np.inf, np.inf])
+        assert vectorized_lower_bound(query, lower, upper) == 0.0
+
+    def test_boundary_value_on_upper_breakpoint(self):
+        """Intervals are half open [lower, upper): a value equal to upper is outside."""
+        query = np.array([3.0])
+        lower = np.array([1.0])
+        upper = np.array([3.0])
+        assert scalar_lower_bound(query, lower, upper) == pytest.approx(0.0)
+        assert chunked_masked_lower_bound(query, lower, upper) == pytest.approx(0.0)
+
+
+class TestEarlyAbandoning:
+    def test_abandon_returns_partial_sum_above_threshold(self):
+        query = np.full(64, 10.0)
+        lower = np.zeros(64)
+        upper = np.ones(64)
+        full = vectorized_lower_bound(query, lower, upper)
+        partial = chunked_masked_lower_bound(query, lower, upper, best_so_far=10.0)
+        assert partial > 10.0
+        assert partial <= full
+
+    def test_no_abandon_when_threshold_not_reached(self):
+        query, lower, upper, weights = _random_case(7)
+        full = vectorized_lower_bound(query, lower, upper, weights)
+        result = chunked_masked_lower_bound(query, lower, upper, weights,
+                                            best_so_far=full + 1.0)
+        assert result == pytest.approx(full)
+
+    def test_scalar_early_abandon(self):
+        query = np.full(32, 10.0)
+        lower = np.zeros(32)
+        upper = np.ones(32)
+        result = scalar_lower_bound(query, lower, upper, best_so_far=5.0)
+        assert result > 5.0
+
+
+class TestBatchLowerBound:
+    def test_matches_single_kernel(self):
+        rng = np.random.default_rng(11)
+        query = rng.standard_normal(8)
+        lower = rng.standard_normal((20, 8)) - 1.0
+        upper = lower + rng.uniform(0.1, 1.0, (20, 8))
+        weights = rng.uniform(0.5, 2.0, 8)
+        batch = batch_lower_bound(query, lower, upper, weights)
+        singles = np.array([vectorized_lower_bound(query, lower[i], upper[i], weights)
+                            for i in range(20)])
+        assert np.allclose(batch, singles)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            batch_lower_bound(np.zeros(4), np.zeros((3, 5)), np.zeros((3, 5)))
+
+    def test_default_weights_are_ones(self):
+        query = np.array([2.0, -2.0])
+        lower = np.array([[0.0, 0.0]])
+        upper = np.array([[1.0, 1.0]])
+        assert batch_lower_bound(query, lower, upper)[0] == pytest.approx(1.0 + 4.0)
+
+
+class TestValidation:
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError):
+            vectorized_lower_bound(np.zeros(4), np.zeros(5), np.zeros(4))
+
+    def test_bad_lane_width_raises(self):
+        with pytest.raises(ValueError):
+            chunked_masked_lower_bound(np.zeros(4), np.zeros(4), np.ones(4), lane_width=0)
+
+    def test_2d_query_raises(self):
+        with pytest.raises(ValueError):
+            vectorized_lower_bound(np.zeros((2, 2)), np.zeros((2, 2)), np.ones((2, 2)))
+
+
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_all_kernels_agree_property(seed, dims):
+    """The chunked-mask, scalar and vectorized kernels compute the same value."""
+    query, lower, upper, weights = _random_case(seed, dims=dims)
+    reference = vectorized_lower_bound(query, lower, upper, weights)
+    assert chunked_masked_lower_bound(query, lower, upper, weights) == pytest.approx(reference)
+    assert scalar_lower_bound(query, lower, upper, weights) == pytest.approx(reference)
+    assert batch_lower_bound(query, lower.reshape(1, -1), upper.reshape(1, -1),
+                             weights)[0] == pytest.approx(reference)

@@ -1,0 +1,130 @@
+"""Tests for the synthetic signal generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.datasets.synthetic import (
+    GENERATORS,
+    clustered,
+    embedding_vectors,
+    mixed_frequency,
+    oscillatory,
+    random_walk,
+    red_noise,
+    seismic_events,
+    smooth_signal,
+)
+
+
+def _spectral_centroid(matrix: np.ndarray) -> float:
+    """Mean frequency (fraction of Nyquist) weighted by spectral power."""
+    centered = matrix - matrix.mean(axis=1, keepdims=True)
+    spectrum = np.abs(np.fft.rfft(centered, axis=1)) ** 2
+    frequencies = np.linspace(0, 1, spectrum.shape[1])
+    weights = spectrum.sum(axis=0)
+    return float(np.sum(frequencies * weights) / weights.sum())
+
+
+class TestBasicProperties:
+    @pytest.mark.parametrize("generator", [random_walk, smooth_signal, red_noise,
+                                           seismic_events, oscillatory,
+                                           embedding_vectors, mixed_frequency])
+    def test_shape_and_finiteness(self, generator):
+        values = generator(20, 64, seed=0)
+        assert values.shape == (20, 64)
+        assert np.isfinite(values).all()
+
+    @pytest.mark.parametrize("generator", [random_walk, smooth_signal, red_noise,
+                                           seismic_events, oscillatory,
+                                           embedding_vectors, mixed_frequency])
+    def test_deterministic_given_seed(self, generator):
+        assert np.allclose(generator(5, 32, seed=42), generator(5, 32, seed=42))
+
+    @pytest.mark.parametrize("generator", [random_walk, oscillatory, seismic_events])
+    def test_different_seeds_differ(self, generator):
+        assert not np.allclose(generator(5, 32, seed=1), generator(5, 32, seed=2))
+
+    def test_invalid_shapes_raise(self):
+        with pytest.raises(InvalidParameterError):
+            random_walk(0, 64)
+        with pytest.raises(InvalidParameterError):
+            random_walk(5, 4)
+
+    def test_generators_registry_is_complete(self):
+        assert set(GENERATORS) == {"random-walk", "smooth", "red-noise", "seismic",
+                                   "oscillatory", "embedding", "mixed"}
+
+
+class TestSpectralCharacter:
+    def test_oscillatory_has_higher_frequency_content_than_smooth(self):
+        high = oscillatory(50, 256, seed=0)
+        low = smooth_signal(50, 256, seed=0)
+        assert _spectral_centroid(high) > _spectral_centroid(low)
+
+    def test_random_walk_is_low_frequency(self):
+        walk = random_walk(50, 256, seed=0)
+        assert _spectral_centroid(walk) < 0.1
+
+    def test_mixed_frequency_knob_is_monotone(self):
+        low = mixed_frequency(50, 256, high_energy_fraction=0.1, seed=0)
+        high = mixed_frequency(50, 256, high_energy_fraction=0.9, seed=0)
+        assert _spectral_centroid(high) > _spectral_centroid(low)
+
+    def test_red_noise_exponent_controls_smoothness(self):
+        rough = red_noise(50, 256, exponent=0.5, seed=0)
+        smooth = red_noise(50, 256, exponent=2.5, seed=0)
+        assert _spectral_centroid(smooth) < _spectral_centroid(rough)
+
+    def test_seismic_dominant_frequency_shifts_spectrum(self):
+        low = seismic_events(50, 256, dominant_frequency=0.03, seed=0)
+        high = seismic_events(50, 256, dominant_frequency=0.2, seed=0)
+        assert _spectral_centroid(high) > _spectral_centroid(low)
+
+
+class TestEmbeddingVectors:
+    def test_non_negative_option(self):
+        values = embedding_vectors(30, 64, non_negative=True, seed=0)
+        assert values.min() >= 0.0
+
+    def test_sparsity_creates_zeros(self):
+        values = embedding_vectors(30, 64, sparsity=0.5, seed=0)
+        assert np.mean(values == 0.0) > 0.3
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(InvalidParameterError):
+            embedding_vectors(5, 16, sparsity=1.5)
+
+
+class TestClustered:
+    def test_shape(self):
+        values = clustered(random_walk, 100, 64, num_clusters=10, seed=0)
+        assert values.shape == (100, 64)
+
+    def test_within_cluster_distances_smaller_than_between(self):
+        values = clustered(oscillatory, 200, 128, num_clusters=5,
+                           within_cluster_noise=0.1, seed=0)
+        from repro.core.distance import pairwise_squared_euclidean
+        from repro.core.normalization import znormalize_batch
+
+        normalized = znormalize_batch(values)
+        distances = np.sqrt(pairwise_squared_euclidean(normalized[:20], normalized))
+        np.fill_diagonal(distances[:, :20], np.inf)
+        nearest = distances.min(axis=1)
+        median_pairwise = np.median(distances[np.isfinite(distances)])
+        assert np.median(nearest) < 0.5 * median_pairwise
+
+    def test_more_clusters_than_series_is_capped(self):
+        values = clustered(random_walk, 5, 32, num_clusters=50, seed=0)
+        assert values.shape == (5, 32)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            clustered(random_walk, 10, 32, num_clusters=0)
+        with pytest.raises(InvalidParameterError):
+            clustered(random_walk, 10, 32, within_cluster_noise=-1.0)
+
+    def test_deterministic(self):
+        first = clustered(seismic_events, 30, 64, seed=3)
+        second = clustered(seismic_events, 30, 64, seed=3)
+        assert np.allclose(first, second)

@@ -1,0 +1,50 @@
+"""Tests for per-root-child summary buffers."""
+
+import numpy as np
+import pytest
+
+from repro.index.buffers import fill_buffers
+
+
+class TestFillBuffers:
+    def test_groups_by_top_bit(self):
+        # 2-bit symbols, word length 2: top bits are (1,0), (0,1), (1,0).
+        words = np.array([[2, 1], [1, 3], [3, 0]])
+        buffers = fill_buffers(words, bits=2)
+        keys = {buffer.key for buffer in buffers}
+        assert keys == {(1, 0), (0, 1)}
+
+    def test_every_row_lands_in_exactly_one_buffer(self):
+        rng = np.random.default_rng(0)
+        words = rng.integers(0, 256, size=(200, 8))
+        buffers = fill_buffers(words, bits=8)
+        all_indices = np.concatenate([buffer.indices for buffer in buffers])
+        assert np.array_equal(np.sort(all_indices), np.arange(200))
+
+    def test_buffer_words_match_their_rows(self):
+        rng = np.random.default_rng(1)
+        words = rng.integers(0, 16, size=(50, 4))
+        for buffer in fill_buffers(words, bits=4):
+            assert np.array_equal(buffer.words, words[buffer.indices])
+
+    def test_buffers_sorted_by_size_descending(self):
+        words = np.array([[0, 0]] * 5 + [[3, 3]] * 2 + [[0, 3]] * 8)
+        buffers = fill_buffers(words, bits=2)
+        sizes = [buffer.size for buffer in buffers]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_key_matches_top_bits_of_members(self):
+        rng = np.random.default_rng(2)
+        words = rng.integers(0, 4, size=(30, 3))
+        for buffer in fill_buffers(words, bits=2):
+            top_bits = buffer.words >> 1
+            assert np.all(top_bits == np.asarray(buffer.key))
+
+    def test_rejects_1d_input(self):
+        with pytest.raises(ValueError):
+            fill_buffers(np.zeros(5, dtype=np.int64), bits=2)
+
+    def test_single_row(self):
+        buffers = fill_buffers(np.array([[7, 0, 3]]), bits=3)
+        assert len(buffers) == 1
+        assert buffers[0].size == 1

@@ -1,0 +1,84 @@
+"""Tests for tree nodes."""
+
+import numpy as np
+
+from repro.index.node import InnerNode, LeafNode, root_child_word
+
+
+def _leaf(size: int = 3, word_length: int = 4) -> LeafNode:
+    return LeafNode(
+        symbols=np.zeros(word_length, dtype=np.int64),
+        bits=np.ones(word_length, dtype=np.int64),
+        indices=np.arange(size, dtype=np.int64),
+        words=np.zeros((size, word_length), dtype=np.int64),
+    )
+
+
+class TestLeafNode:
+    def test_is_leaf(self):
+        assert _leaf().is_leaf()
+
+    def test_size(self):
+        assert _leaf(size=7).size == 7
+
+    def test_depth_is_one(self):
+        assert _leaf().depth() == 1
+
+    def test_iter_leaves_yields_itself(self):
+        leaf = _leaf()
+        assert list(leaf.iter_leaves()) == [leaf]
+
+    def test_count_nodes(self):
+        assert _leaf().count_nodes() == 1
+
+    def test_word_length(self):
+        assert _leaf(word_length=6).word_length == 6
+
+
+class TestInnerNode:
+    def _tree(self):
+        left = _leaf(size=2)
+        right_left = _leaf(size=1)
+        right_right = _leaf(size=4)
+        right = InnerNode(symbols=np.zeros(4, dtype=np.int64),
+                          bits=np.ones(4, dtype=np.int64),
+                          split_dimension=1, left=right_left, right=right_right)
+        root = InnerNode(symbols=np.zeros(4, dtype=np.int64),
+                         bits=np.ones(4, dtype=np.int64),
+                         split_dimension=0, left=left, right=right)
+        return root, left, right_left, right_right
+
+    def test_is_not_leaf(self):
+        root, *_ = self._tree()
+        assert not root.is_leaf()
+
+    def test_iter_leaves_in_order(self):
+        root, left, right_left, right_right = self._tree()
+        assert list(root.iter_leaves()) == [left, right_left, right_right]
+
+    def test_depth(self):
+        root, *_ = self._tree()
+        assert root.depth() == 3
+
+    def test_count_nodes(self):
+        root, *_ = self._tree()
+        assert root.count_nodes() == 5
+
+    def test_children_skips_missing(self):
+        node = InnerNode(symbols=np.zeros(2, dtype=np.int64),
+                         bits=np.zeros(2, dtype=np.int64),
+                         split_dimension=0, left=_leaf(), right=None)
+        assert len(node.children) == 1
+
+
+class TestRootChildWord:
+    def test_key_is_tuple_of_ints(self):
+        key = root_child_word(np.array([1, 0, 1]), np.ones(3, dtype=np.int64))
+        assert key == (1, 0, 1)
+        assert all(isinstance(value, int) for value in key)
+
+    def test_keys_are_hashable_and_distinct(self):
+        first = root_child_word(np.array([1, 0]), None)
+        second = root_child_word(np.array([0, 1]), None)
+        assert first != second
+        assert len({first, second}) == 2

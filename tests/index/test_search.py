@@ -1,0 +1,158 @@
+"""Tests for the exact GEMINI search engine (correctness against brute force)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.serial_scan import SerialScan
+from repro.core.errors import SearchError
+from repro.index.messi import MessiIndex
+from repro.index.search import ExactSearcher, _KnnHeap
+from repro.index.sofa import SofaIndex
+from repro.index.tree import TreeIndex
+from repro.transforms.sax import SAX
+
+
+class TestKnnHeap:
+    def test_threshold_is_infinite_until_full(self):
+        heap = _KnnHeap(3)
+        heap.offer(1.0, 0)
+        heap.offer(2.0, 1)
+        assert heap.threshold == np.inf
+        heap.offer(3.0, 2)
+        assert heap.threshold == 3.0
+
+    def test_keeps_k_smallest(self):
+        heap = _KnnHeap(2)
+        for distance, index in [(5.0, 0), (1.0, 1), (3.0, 2), (0.5, 3)]:
+            heap.offer(distance, index)
+        items = heap.sorted_items()
+        assert [index for _, index in items] == [3, 1]
+        assert heap.threshold == 1.0
+
+    def test_sorted_items_ascending(self):
+        heap = _KnnHeap(4)
+        for distance in [4.0, 2.0, 3.0, 1.0]:
+            heap.offer(distance, int(distance))
+        distances = [distance for distance, _ in heap.sorted_items()]
+        assert distances == sorted(distances)
+
+
+class TestSearcherValidation:
+    def test_requires_built_index(self):
+        with pytest.raises(SearchError):
+            ExactSearcher(TreeIndex(SAX()))
+
+    def test_invalid_k(self, clustered_index_and_queries):
+        index_set, queries = clustered_index_and_queries
+        index = MessiIndex(leaf_size=50).build(index_set)
+        with pytest.raises(SearchError):
+            index.knn(queries[0], k=0)
+        with pytest.raises(SearchError):
+            index.knn(queries[0], k=index_set.num_series + 1)
+
+    def test_wrong_query_length(self, clustered_index_and_queries):
+        index_set, queries = clustered_index_and_queries
+        index = MessiIndex(leaf_size=50).build(index_set)
+        with pytest.raises(SearchError):
+            index.knn(np.zeros(index_set.series_length + 1))
+
+    def test_query_before_build_raises(self):
+        with pytest.raises(RuntimeError):
+            MessiIndex().knn(np.zeros(8))
+        with pytest.raises(RuntimeError):
+            SofaIndex().knn(np.zeros(8))
+
+
+class TestExactness:
+    """Every index must return exactly the brute-force answer."""
+
+    @pytest.mark.parametrize("index_factory", [
+        lambda: MessiIndex(leaf_size=40),
+        lambda: SofaIndex(leaf_size=40),
+        lambda: SofaIndex(leaf_size=40, binning="equi-depth"),
+        lambda: SofaIndex(leaf_size=40, variance_selection=False),
+    ])
+    def test_1nn_matches_brute_force(self, clustered_index_and_queries, index_factory):
+        index_set, queries = clustered_index_and_queries
+        index = index_factory().build(index_set)
+        scan = SerialScan().build(index_set)
+        for query in queries.values:
+            result = index.nearest_neighbor(query)
+            _, expected = scan.nearest_neighbor(query)
+            assert result.nearest_distance == pytest.approx(expected, abs=1e-8)
+
+    @pytest.mark.parametrize("k", [1, 3, 5, 10])
+    def test_knn_matches_brute_force(self, clustered_index_and_queries, k):
+        index_set, queries = clustered_index_and_queries
+        index = SofaIndex(leaf_size=40).build(index_set)
+        scan = SerialScan().build(index_set)
+        for query in queries.values[:8]:
+            result = index.knn(query, k=k)
+            _, expected = scan.knn(query, k=k)
+            assert result.distances.shape == (k,)
+            assert np.allclose(result.distances, expected, atol=1e-8)
+
+    def test_low_frequency_dataset_is_also_exact(self, lowfreq_index_and_queries):
+        index_set, queries = lowfreq_index_and_queries
+        sofa = SofaIndex(leaf_size=40).build(index_set)
+        messi = MessiIndex(leaf_size=40).build(index_set)
+        scan = SerialScan().build(index_set)
+        for query in queries.values[:10]:
+            _, expected = scan.nearest_neighbor(query)
+            assert sofa.nearest_neighbor(query).nearest_distance == pytest.approx(expected)
+            assert messi.nearest_neighbor(query).nearest_distance == pytest.approx(expected)
+
+    def test_indexed_series_is_its_own_nearest_neighbor(self, clustered_index_and_queries):
+        index_set, _ = clustered_index_and_queries
+        index = SofaIndex(leaf_size=40).build(index_set)
+        result = index.nearest_neighbor(index_set[17])
+        assert result.nearest_index == 17
+        assert result.nearest_distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_distances_are_sorted_ascending(self, clustered_index_and_queries):
+        index_set, queries = clustered_index_and_queries
+        index = SofaIndex(leaf_size=40).build(index_set)
+        result = index.knn(queries[0], k=7)
+        assert np.all(np.diff(result.distances) >= 0)
+
+
+class TestPruningBehaviour:
+    def test_stats_are_populated(self, clustered_index_and_queries):
+        index_set, queries = clustered_index_and_queries
+        index = SofaIndex(leaf_size=40).build(index_set)
+        stats = index.nearest_neighbor(queries[0]).stats
+        assert stats.leaves_visited >= 1
+        assert stats.exact_distances >= 1
+        assert stats.series_lower_bounds >= stats.exact_distances
+        assert stats.approximate_time >= 0.0
+        assert stats.total_time >= stats.refinement_time
+
+    def test_sofa_prunes_more_than_messi_on_high_frequency_data(
+            self, clustered_index_and_queries):
+        """The paper's core claim, measured as exact-distance computations."""
+        index_set, queries = clustered_index_and_queries
+        sofa = SofaIndex(leaf_size=40).build(index_set)
+        messi = MessiIndex(leaf_size=40).build(index_set)
+        sofa_work = sum(sofa.nearest_neighbor(q).stats.exact_distances
+                        for q in queries.values)
+        messi_work = sum(messi.nearest_neighbor(q).stats.exact_distances
+                         for q in queries.values)
+        assert sofa_work < messi_work
+
+    def test_search_prunes_something_on_clustered_data(self, clustered_index_and_queries):
+        index_set, queries = clustered_index_and_queries
+        index = SofaIndex(leaf_size=40).build(index_set)
+        total_exact = sum(index.nearest_neighbor(q).stats.exact_distances
+                          for q in queries.values)
+        total_possible = index_set.num_series * queries.num_series
+        assert total_exact < 0.5 * total_possible
+
+    def test_unnormalized_query_handling(self, clustered_index_and_queries):
+        """Queries are z-normalized by default, so scaling must not change results."""
+        index_set, queries = clustered_index_and_queries
+        index = SofaIndex(leaf_size=40).build(index_set)
+        query = queries[0]
+        reference = index.nearest_neighbor(query)
+        scaled = index.nearest_neighbor(5.0 * query + 3.0)
+        assert scaled.nearest_index == reference.nearest_index
+        assert scaled.nearest_distance == pytest.approx(reference.nearest_distance)

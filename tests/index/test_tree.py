@@ -1,0 +1,164 @@
+"""Tests for the shared MESSI/SOFA tree index structure."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import IndexError_, InvalidParameterError
+from repro.core.series import Dataset
+from repro.index.tree import TreeIndex
+from repro.transforms.sax import SAX
+from repro.transforms.sfa import SFA
+
+
+def _build_tree(dataset, leaf_size=25, summarization=None, **kwargs):
+    summarization = summarization or SAX(word_length=8, alphabet_size=16)
+    tree = TreeIndex(summarization, leaf_size=leaf_size, **kwargs)
+    return tree.build(dataset)
+
+
+class TestConstruction:
+    def test_invalid_leaf_size(self):
+        with pytest.raises(InvalidParameterError):
+            TreeIndex(SAX(), leaf_size=0)
+
+    def test_invalid_split_policy(self):
+        with pytest.raises(InvalidParameterError):
+            TreeIndex(SAX(), split_policy="random")
+
+    def test_not_built_flags(self):
+        tree = TreeIndex(SAX())
+        assert not tree.is_built
+        with pytest.raises(IndexError_):
+            _ = tree.num_series
+
+    def test_build_accepts_raw_arrays(self, small_matrix):
+        tree = TreeIndex(SAX(word_length=4, alphabet_size=8), leaf_size=10)
+        tree.build(small_matrix)
+        assert tree.is_built
+        assert tree.num_series == small_matrix.shape[0]
+
+
+class TestStructure:
+    def test_every_series_is_stored_exactly_once(self, walk_dataset):
+        tree = _build_tree(walk_dataset, leaf_size=10)
+        stored = np.concatenate([leaf.indices for leaf in tree.leaves()])
+        assert np.array_equal(np.sort(stored), np.arange(walk_dataset.num_series))
+
+    def test_leaf_capacity_is_respected_or_unsplittable(self, walk_dataset):
+        tree = _build_tree(walk_dataset, leaf_size=10)
+        for leaf in tree.leaves():
+            if leaf.size > tree.leaf_size:
+                # Oversized leaves are only allowed when no dimension can be
+                # split further (identical words or exhausted bits).
+                assert np.all(leaf.bits >= tree.summarization.bits) or \
+                    np.unique(leaf.words, axis=0).shape[0] == 1
+
+    def test_leaf_words_match_node_prefix(self, walk_dataset):
+        tree = _build_tree(walk_dataset, leaf_size=10)
+        bits = tree.summarization.bits
+        for leaf in tree.leaves():
+            for dim in range(leaf.word_length):
+                used = int(leaf.bits[dim])
+                if used == 0:
+                    continue
+                prefixes = leaf.words[:, dim] >> (bits - used)
+                assert np.all(prefixes == leaf.symbols[dim])
+
+    def test_root_children_keys_are_top_bits(self, walk_dataset):
+        tree = _build_tree(walk_dataset, leaf_size=10)
+        bits = tree.summarization.bits
+        words = tree.summarization.words(walk_dataset)
+        expected_keys = {tuple(row) for row in (words >> (bits - 1))}
+        assert set(tree.root_children) == expected_keys
+
+    def test_larger_leaf_size_gives_fewer_leaves(self, walk_dataset):
+        small = _build_tree(walk_dataset, leaf_size=5)
+        large = _build_tree(walk_dataset, leaf_size=50)
+        assert len(large.leaves()) <= len(small.leaves())
+
+    def test_round_robin_policy_builds_valid_tree(self, walk_dataset):
+        tree = _build_tree(walk_dataset, leaf_size=10, split_policy="round-robin")
+        stored = np.concatenate([leaf.indices for leaf in tree.leaves()])
+        assert np.array_equal(np.sort(stored), np.arange(walk_dataset.num_series))
+
+    def test_sfa_tree_builds(self, oscillatory_dataset):
+        summarization = SFA(word_length=8, alphabet_size=16, sample_fraction=1.0)
+        tree = _build_tree(oscillatory_dataset, leaf_size=15, summarization=summarization)
+        stored = np.concatenate([leaf.indices for leaf in tree.leaves()])
+        assert np.array_equal(np.sort(stored), np.arange(oscillatory_dataset.num_series))
+
+
+class TestLowerBounds:
+    def test_node_lower_bound_is_valid_for_members(self, walk_dataset):
+        """A node's lower bound never exceeds the distance to any series in it."""
+        from repro.core.distance import euclidean
+
+        tree = _build_tree(walk_dataset, leaf_size=10)
+        query = walk_dataset[0]
+        summary = tree.summarization.transform(query)
+        for leaf in tree.leaves()[:10]:
+            node_bound = np.sqrt(tree.node_lower_bound(summary, leaf))
+            for row in leaf.indices[:5]:
+                assert node_bound <= euclidean(query, walk_dataset.values[row]) + 1e-9
+
+    def test_leaf_directory_matches_per_node_bounds(self, walk_dataset):
+        tree = _build_tree(walk_dataset, leaf_size=10)
+        summary = tree.summarization.transform(walk_dataset[3])
+        directory_bounds = tree.leaf_lower_bounds(summary)
+        individual = np.array([tree.node_lower_bound(summary, leaf)
+                               for leaf in tree.leaf_nodes])
+        assert np.allclose(directory_bounds, individual)
+
+    def test_series_lower_bounds_are_valid(self, walk_dataset):
+        from repro.core.distance import euclidean
+
+        tree = _build_tree(walk_dataset, leaf_size=10)
+        query = walk_dataset[7]
+        summary = tree.summarization.transform(query)
+        for leaf in tree.leaves()[:5]:
+            bounds = np.sqrt(tree.series_lower_bounds(summary, leaf))
+            true = np.array([euclidean(query, walk_dataset.values[row])
+                             for row in leaf.indices])
+            assert np.all(bounds <= true + 1e-9)
+
+    def test_leaf_lower_bounds_requires_build(self):
+        tree = TreeIndex(SAX())
+        with pytest.raises(IndexError_):
+            tree.leaf_lower_bounds(np.zeros(16))
+
+
+class TestTimings:
+    def test_build_timings_are_recorded(self, walk_dataset):
+        tree = _build_tree(walk_dataset, leaf_size=10)
+        timings = tree.timings
+        assert timings.learn_time >= 0.0
+        assert timings.transform_time > 0.0
+        assert timings.tree_time > 0.0
+        assert len(timings.subtree_times) == len(tree.root_children)
+        assert timings.total_time == pytest.approx(
+            timings.learn_time + timings.transform_time + timings.tree_time)
+
+    def test_len_matches_num_series(self, walk_dataset):
+        tree = _build_tree(walk_dataset, leaf_size=10)
+        assert len(tree) == walk_dataset.num_series
+
+
+class TestStats:
+    def test_structure_stats(self, walk_dataset):
+        from repro.index.stats import compute_structure_stats
+
+        tree = _build_tree(walk_dataset, leaf_size=10)
+        stats = compute_structure_stats(tree)
+        assert stats.num_series == walk_dataset.num_series
+        assert stats.num_leaves == len(tree.leaves())
+        assert stats.num_subtrees == len(tree.root_children)
+        assert stats.average_depth >= 1.0
+        assert stats.max_depth >= stats.average_depth
+        assert 0.0 < stats.average_leaf_size <= walk_dataset.num_series
+        assert stats.as_dict()["num_leaves"] == stats.num_leaves
+
+    def test_structure_stats_requires_built_index(self):
+        from repro.index.stats import compute_structure_stats
+
+        with pytest.raises(IndexError_):
+            compute_structure_stats(TreeIndex(SAX()))

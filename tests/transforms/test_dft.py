@@ -1,0 +1,145 @@
+"""Tests for the DFT features and the Rafiei–Mendelzon lower bound."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import euclidean
+from repro.core.errors import InvalidParameterError
+from repro.core.normalization import znormalize
+from repro.transforms.dft import (
+    DFT,
+    component_weights,
+    reconstruct_from_components,
+    rfft_components,
+)
+
+
+class TestRfftComponents:
+    def test_component_layout(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.standard_normal((5, 32))
+        components, weights = rfft_components(matrix)
+        assert components.shape == (5, 2 * (32 // 2 + 1))
+        assert weights.shape == (components.shape[1],)
+
+    def test_parseval_identity(self):
+        """Sum of weighted squared components equals the squared norm."""
+        rng = np.random.default_rng(1)
+        matrix = rng.standard_normal((10, 64))
+        components, weights = rfft_components(matrix)
+        energy = np.sum(weights * components ** 2, axis=1)
+        assert np.allclose(energy, np.sum(matrix ** 2, axis=1))
+
+    def test_parseval_identity_odd_length(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.standard_normal((10, 63))
+        components, weights = rfft_components(matrix)
+        energy = np.sum(weights * components ** 2, axis=1)
+        assert np.allclose(energy, np.sum(matrix ** 2, axis=1))
+
+    def test_dc_and_nyquist_weights_are_one(self):
+        weights = component_weights(64)
+        assert weights[0] == weights[1] == 1.0
+        assert weights[-2] == weights[-1] == 1.0
+        assert np.all(weights[2:-2] == 2.0)
+
+    def test_odd_length_has_no_nyquist(self):
+        weights = component_weights(63)
+        assert weights[0] == weights[1] == 1.0
+        assert np.all(weights[2:] == 2.0)
+
+    def test_dc_imaginary_part_is_zero(self):
+        rng = np.random.default_rng(3)
+        components, _ = rfft_components(rng.standard_normal((4, 16)))
+        assert np.allclose(components[:, 1], 0.0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(InvalidParameterError):
+            rfft_components(np.zeros(16))
+
+
+class TestDftSummarization:
+    def test_transform_length(self, walk_dataset):
+        dft = DFT(word_length=10).fit(walk_dataset)
+        assert dft.transform(walk_dataset[0]).shape == (10,)
+
+    def test_skip_dc_excludes_first_components(self, walk_dataset):
+        dft = DFT(word_length=6, skip_dc=True).fit(walk_dataset)
+        assert dft.selected_components.min() >= 2
+
+    def test_keep_dc_starts_at_zero(self, walk_dataset):
+        dft = DFT(word_length=6, skip_dc=False).fit(walk_dataset)
+        assert dft.selected_components.min() == 0
+
+    def test_word_length_too_large_raises(self):
+        with pytest.raises(InvalidParameterError):
+            DFT(word_length=1000).fit(np.zeros((3, 16)))
+
+    def test_lower_bound_property_on_znormalized_series(self, walk_dataset):
+        dft = DFT(word_length=16).fit(walk_dataset)
+        values = walk_dataset.values
+        for i in range(0, 30, 2):
+            a, b = values[i], values[i + 1]
+            lower = dft.lower_bound(dft.transform(a), dft.transform(b))
+            assert lower <= euclidean(a, b) + 1e-9
+
+    def test_full_spectrum_lower_bound_is_exact(self):
+        """Keeping every component makes the lower bound equal the distance."""
+        rng = np.random.default_rng(4)
+        matrix = np.vstack([znormalize(row) for row in rng.standard_normal((4, 32))])
+        num_components = 2 * (32 // 2 + 1)
+        dft = DFT(word_length=num_components, skip_dc=False).fit(matrix)
+        a, b = matrix[0], matrix[1]
+        lower = dft.lower_bound(dft.transform(a), dft.transform(b))
+        assert lower == pytest.approx(euclidean(a, b))
+
+    def test_reconstruction_round_trip_with_full_spectrum(self):
+        rng = np.random.default_rng(5)
+        series = rng.standard_normal(32)
+        num_components = 2 * (32 // 2 + 1)
+        dft = DFT(word_length=num_components, skip_dc=False).fit(series.reshape(1, -1))
+        reconstruction = dft.reconstruct(dft.transform(series), 32)
+        assert np.allclose(reconstruction, series)
+
+    def test_reconstruction_partial_reduces_error_with_more_components(self, oscillatory_dataset):
+        series = oscillatory_dataset[0]
+        errors = []
+        for word_length in (4, 8, 16, 32):
+            dft = DFT(word_length=word_length).fit(oscillatory_dataset)
+            reconstruction = dft.reconstruct(dft.transform(series), series.shape[0])
+            errors.append(np.linalg.norm(series - reconstruction))
+        assert errors[0] >= errors[-1]
+
+    def test_requires_fit(self):
+        with pytest.raises(InvalidParameterError):
+            DFT().transform(np.zeros(16))
+
+
+class TestReconstructFromComponents:
+    def test_zero_components_give_zero_series(self):
+        result = reconstruct_from_components(np.zeros(4), np.array([2, 3, 4, 5]), 16)
+        assert np.allclose(result, 0.0)
+
+    def test_selected_positions_are_respected(self):
+        rng = np.random.default_rng(6)
+        series = rng.standard_normal(16)
+        components, _ = rfft_components(series.reshape(1, -1))
+        selected = np.arange(components.shape[1])
+        rebuilt = reconstruct_from_components(components[0], selected, 16)
+        assert np.allclose(rebuilt, series)
+
+
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=2, max_value=30),
+       st.sampled_from([32, 48, 64, 100, 127]))
+@settings(max_examples=40, deadline=None)
+def test_dft_lower_bound_property(seed, word_length, length):
+    """Property: the truncated-DFT distance lower-bounds the Euclidean distance."""
+    rng = np.random.default_rng(seed)
+    a = znormalize(rng.standard_normal(length))
+    b = znormalize(rng.standard_normal(length))
+    dft = DFT(word_length=word_length).fit(a.reshape(1, -1))
+    lower = dft.lower_bound(dft.transform(a), dft.transform(b))
+    assert lower <= euclidean(a, b) + 1e-9

@@ -1,0 +1,103 @@
+"""Tests for Piecewise Aggregate Approximation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import euclidean
+from repro.core.errors import InvalidParameterError
+from repro.transforms.paa import PAA, paa_transform, paa_transform_batch
+
+
+class TestPaaTransform:
+    def test_even_segments_are_segment_means(self):
+        series = np.array([1.0, 3.0, 5.0, 7.0])
+        assert np.allclose(paa_transform(series, 2), [2.0, 6.0])
+
+    def test_full_length_is_identity(self):
+        series = np.arange(8, dtype=float)
+        assert np.allclose(paa_transform(series, 8), series)
+
+    def test_single_segment_is_global_mean(self):
+        series = np.arange(10, dtype=float)
+        assert paa_transform(series, 1) == pytest.approx([4.5])
+
+    def test_uneven_segments_cover_all_points(self):
+        series = np.arange(10, dtype=float)
+        summary = paa_transform(series, 3)
+        assert summary.shape == (3,)
+        # Means of segments [0:4), [4:7), [7:10) with numpy linspace boundaries.
+        boundaries = np.linspace(0, 10, 4).astype(int)
+        expected = [series[boundaries[i]:boundaries[i + 1]].mean() for i in range(3)]
+        assert np.allclose(summary, expected)
+
+    def test_invalid_segments_raise(self):
+        with pytest.raises(InvalidParameterError):
+            paa_transform(np.zeros(4), 0)
+        with pytest.raises(InvalidParameterError):
+            paa_transform(np.zeros(4), 5)
+
+    def test_batch_matches_single(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.standard_normal((12, 31))
+        batch = paa_transform_batch(matrix, 7)
+        singles = np.vstack([paa_transform(row, 7) for row in matrix])
+        assert np.allclose(batch, singles)
+
+    def test_batch_rejects_1d(self):
+        with pytest.raises(InvalidParameterError):
+            paa_transform_batch(np.zeros(10), 2)
+
+
+class TestPaaSummarization:
+    def test_fit_records_series_length(self, walk_dataset):
+        paa = PAA(word_length=8).fit(walk_dataset)
+        assert paa.series_length == walk_dataset.series_length
+
+    def test_word_length_exceeding_series_length_raises(self):
+        with pytest.raises(InvalidParameterError):
+            PAA(word_length=100).fit(np.zeros((5, 10)))
+
+    def test_lower_bound_property(self, walk_dataset):
+        """The PAA lower bound never exceeds the true Euclidean distance."""
+        paa = PAA(word_length=8).fit(walk_dataset)
+        values = walk_dataset.values
+        for i in range(0, 20, 2):
+            a, b = values[i], values[i + 1]
+            lower = paa.lower_bound(paa.transform(a), paa.transform(b))
+            assert lower <= euclidean(a, b) + 1e-9
+
+    def test_lower_bound_of_identical_series_is_zero(self, walk_dataset):
+        paa = PAA(word_length=8).fit(walk_dataset)
+        summary = paa.transform(walk_dataset[0])
+        assert paa.lower_bound(summary, summary) == pytest.approx(0.0)
+
+    def test_reconstruct_is_piecewise_constant(self, walk_dataset):
+        paa = PAA(word_length=4).fit(walk_dataset)
+        summary = paa.transform(walk_dataset[0])
+        reconstruction = paa.reconstruct(summary, walk_dataset.series_length)
+        assert reconstruction.shape == (walk_dataset.series_length,)
+        assert len(np.unique(reconstruction)) <= 4
+
+    def test_transform_batch_shape(self, walk_dataset):
+        paa = PAA(word_length=16).fit(walk_dataset)
+        assert paa.transform_batch(walk_dataset).shape == (walk_dataset.num_series, 16)
+
+    def test_invalid_word_length(self):
+        with pytest.raises(InvalidParameterError):
+            PAA(word_length=0)
+
+
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=1, max_value=16),
+       st.integers(min_value=16, max_value=128))
+@settings(max_examples=40, deadline=None)
+def test_paa_lower_bound_property(seed, word_length, length):
+    """Property: d_PAA <= d_ED for random series pairs and any segmentation."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(length)
+    b = rng.standard_normal(length)
+    paa = PAA(word_length=word_length).fit(a.reshape(1, -1))
+    lower = paa.lower_bound(paa.transform(a), paa.transform(b))
+    assert lower <= euclidean(a, b) + 1e-9

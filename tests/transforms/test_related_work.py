@@ -1,0 +1,128 @@
+"""Tests for the related-work numeric summarizations: APCA, PLA, Chebyshev."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import euclidean
+from repro.core.errors import InvalidParameterError
+from repro.transforms.apca import APCA, apca_transform
+from repro.transforms.chebyshev import Chebyshev
+from repro.transforms.pla import PLA, pla_transform
+
+
+class TestApca:
+    def test_transform_returns_segments_and_ends(self):
+        series = np.concatenate([np.zeros(8), np.ones(8)])
+        means, ends = apca_transform(series, 2)
+        assert means.shape == (2,)
+        assert ends[-1] == series.shape[0]
+        assert means[0] == pytest.approx(0.0)
+        assert means[1] == pytest.approx(1.0)
+
+    def test_adaptive_segments_capture_step_changes(self):
+        """APCA places a boundary at the discontinuity, unlike fixed PAA."""
+        series = np.concatenate([np.zeros(10), np.full(3, 5.0), np.zeros(10)])
+        means, ends = apca_transform(series, 3)
+        assert 5.0 in np.round(means, 6)
+
+    def test_invalid_segment_count_raises(self):
+        with pytest.raises(InvalidParameterError):
+            apca_transform(np.zeros(4), 0)
+
+    def test_reconstruct_round_trip(self, walk_dataset):
+        apca = APCA(num_segments=6).fit(walk_dataset)
+        summary = apca.transform(walk_dataset[0])
+        reconstruction = apca.reconstruct(summary, walk_dataset.series_length)
+        assert reconstruction.shape == (walk_dataset.series_length,)
+
+    def test_lower_bound_property(self, walk_dataset):
+        apca = APCA(num_segments=6).fit(walk_dataset)
+        values = walk_dataset.values
+        for i in range(0, 16, 2):
+            a, b = values[i], values[i + 1]
+            lower = apca.lower_bound(apca.transform(a), apca.transform(b))
+            assert lower <= euclidean(a, b) + 1e-9
+
+    def test_word_length_counts_means_and_ends(self):
+        assert APCA(num_segments=5).word_length == 10
+
+
+class TestPla:
+    def test_linear_series_is_reconstructed_exactly(self):
+        series = np.linspace(0, 10, 32)
+        pla = PLA(num_segments=4).fit(series.reshape(1, -1))
+        reconstruction = pla.reconstruct(pla.transform(series), 32)
+        assert np.allclose(reconstruction, series, atol=1e-8)
+
+    def test_transform_shape(self, walk_dataset):
+        pla = PLA(num_segments=8).fit(walk_dataset)
+        assert pla.transform(walk_dataset[0]).shape == (16,)
+
+    def test_lower_bound_property(self, walk_dataset):
+        pla = PLA(num_segments=8).fit(walk_dataset)
+        values = walk_dataset.values
+        for i in range(0, 16, 2):
+            a, b = values[i], values[i + 1]
+            lower = pla.lower_bound(pla.transform(a), pla.transform(b))
+            assert lower <= euclidean(a, b) + 1e-9
+
+    def test_invalid_segments_raise(self):
+        with pytest.raises(InvalidParameterError):
+            PLA(num_segments=0)
+        with pytest.raises(InvalidParameterError):
+            pla_transform(np.zeros(4), 10)
+
+
+class TestChebyshev:
+    def test_transform_shape(self, walk_dataset):
+        cheb = Chebyshev(word_length=10).fit(walk_dataset)
+        assert cheb.transform(walk_dataset[0]).shape == (10,)
+
+    def test_full_basis_reconstruction_is_exact(self):
+        rng = np.random.default_rng(0)
+        series = rng.standard_normal(16)
+        cheb = Chebyshev(word_length=16).fit(series.reshape(1, -1))
+        reconstruction = cheb.reconstruct(cheb.transform(series), 16)
+        assert np.allclose(reconstruction, series, atol=1e-8)
+
+    def test_lower_bound_property(self, walk_dataset):
+        cheb = Chebyshev(word_length=10).fit(walk_dataset)
+        values = walk_dataset.values
+        for i in range(0, 16, 2):
+            a, b = values[i], values[i + 1]
+            lower = cheb.lower_bound(cheb.transform(a), cheb.transform(b))
+            assert lower <= euclidean(a, b) + 1e-9
+
+    def test_full_basis_lower_bound_is_exact(self):
+        rng = np.random.default_rng(1)
+        a, b = rng.standard_normal((2, 12))
+        cheb = Chebyshev(word_length=12).fit(a.reshape(1, -1))
+        lower = cheb.lower_bound(cheb.transform(a), cheb.transform(b))
+        assert lower == pytest.approx(euclidean(a, b))
+
+    def test_transform_batch_matches_single(self, walk_dataset):
+        cheb = Chebyshev(word_length=6).fit(walk_dataset)
+        batch = cheb.transform_batch(walk_dataset)
+        singles = np.vstack([cheb.transform(row) for row in walk_dataset.values])
+        assert np.allclose(batch, singles)
+
+    def test_wrong_length_raises(self, walk_dataset):
+        cheb = Chebyshev(word_length=6).fit(walk_dataset)
+        with pytest.raises(InvalidParameterError):
+            cheb.transform(np.zeros(walk_dataset.series_length + 1))
+
+
+@given(st.integers(min_value=0, max_value=5000), st.integers(min_value=2, max_value=10))
+@settings(max_examples=25, deadline=None)
+def test_pla_and_chebyshev_lower_bound_property(seed, word):
+    """Projection-based summaries always lower-bound the Euclidean distance."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(40)
+    b = rng.standard_normal(40)
+    pla = PLA(num_segments=word).fit(a.reshape(1, -1))
+    cheb = Chebyshev(word_length=word).fit(a.reshape(1, -1))
+    true = euclidean(a, b)
+    assert pla.lower_bound(pla.transform(a), pla.transform(b)) <= true + 1e-9
+    assert cheb.lower_bound(cheb.transform(a), cheb.transform(b)) <= true + 1e-9

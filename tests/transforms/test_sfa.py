@@ -1,0 +1,190 @@
+"""Tests for the Symbolic Fourier Approximation (SFA) and MCB."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distance import euclidean
+from repro.core.errors import InvalidParameterError, NotFittedError
+from repro.transforms.sfa import SFA
+
+
+class TestConstruction:
+    def test_invalid_binning_raises(self):
+        with pytest.raises(InvalidParameterError):
+            SFA(binning="kmeans")
+
+    def test_invalid_alphabet_raises(self):
+        with pytest.raises(InvalidParameterError):
+            SFA(alphabet_size=3)
+
+    def test_invalid_sample_fraction_raises(self):
+        with pytest.raises(InvalidParameterError):
+            SFA(sample_fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            SFA(sample_fraction=1.5)
+
+    def test_requires_fit(self):
+        with pytest.raises(NotFittedError):
+            SFA().word(np.zeros(64))
+
+
+class TestFitting:
+    def test_selects_requested_number_of_components(self, oscillatory_dataset):
+        sfa = SFA(word_length=12, sample_fraction=1.0).fit(oscillatory_dataset)
+        assert sfa.selected_components.shape == (12,)
+        assert sfa.weights.shape == (12,)
+
+    def test_skip_dc_excludes_dc_components(self, oscillatory_dataset):
+        sfa = SFA(word_length=8, sample_fraction=1.0, skip_dc=True).fit(oscillatory_dataset)
+        assert sfa.selected_components.min() >= 2
+
+    def test_candidate_window_limits_selection(self, oscillatory_dataset):
+        sfa = SFA(word_length=8, num_candidate_coefficients=4,
+                  sample_fraction=1.0).fit(oscillatory_dataset)
+        # With DC skipped, candidates are components 2 .. 2*4+1.
+        assert sfa.selected_components.max() <= 2 * 4 + 1
+
+    def test_word_length_exceeding_candidates_raises(self, oscillatory_dataset):
+        with pytest.raises(InvalidParameterError):
+            SFA(word_length=16, num_candidate_coefficients=2,
+                sample_fraction=1.0).fit(oscillatory_dataset)
+
+    def test_variance_selection_prefers_high_variance_components(self, oscillatory_dataset):
+        """On high-frequency data, variance selection picks higher coefficients
+        than the low-pass (first-k) selection."""
+        variance = SFA(word_length=8, variance_selection=True,
+                       sample_fraction=1.0).fit(oscillatory_dataset)
+        lowpass = SFA(word_length=8, variance_selection=False,
+                      sample_fraction=1.0).fit(oscillatory_dataset)
+        assert variance.mean_selected_coefficient_index() \
+            > lowpass.mean_selected_coefficient_index()
+
+    def test_selection_is_deterministic_given_seed(self, oscillatory_dataset):
+        first = SFA(word_length=8, sample_fraction=0.5, random_state=3).fit(oscillatory_dataset)
+        second = SFA(word_length=8, sample_fraction=0.5, random_state=3).fit(oscillatory_dataset)
+        assert np.array_equal(first.selected_components, second.selected_components)
+
+    def test_sampling_fraction_changes_only_the_sample(self, oscillatory_dataset):
+        """Small sampling fractions must still produce a usable summarization."""
+        sfa = SFA(word_length=8, sample_fraction=0.05).fit(oscillatory_dataset)
+        words = sfa.words(oscillatory_dataset)
+        assert words.shape == (oscillatory_dataset.num_series, 8)
+
+    def test_weights_are_parseval_factors(self, oscillatory_dataset):
+        sfa = SFA(word_length=8, sample_fraction=1.0).fit(oscillatory_dataset)
+        assert set(np.unique(sfa.weights)) <= {1.0, 2.0}
+
+
+class TestWordsAndSummaries:
+    def test_words_in_alphabet(self, oscillatory_dataset):
+        sfa = SFA(word_length=8, alphabet_size=32, sample_fraction=1.0).fit(oscillatory_dataset)
+        words = sfa.words(oscillatory_dataset)
+        assert words.min() >= 0
+        assert words.max() < 32
+
+    def test_transform_batch_matches_single(self, oscillatory_dataset):
+        sfa = SFA(word_length=10, sample_fraction=1.0).fit(oscillatory_dataset)
+        batch = sfa.transform_batch(oscillatory_dataset)
+        singles = np.vstack([sfa.transform(row) for row in oscillatory_dataset.values])
+        assert np.allclose(batch, singles)
+
+    def test_word_to_string(self, oscillatory_dataset):
+        sfa = SFA(word_length=4, alphabet_size=8, sample_fraction=1.0).fit(oscillatory_dataset)
+        assert sfa.word_to_string(np.array([0, 1, 2, 3])) == "abcd"
+
+    def test_reconstruction_resembles_original_better_than_mean(self, oscillatory_dataset):
+        """SFA's Fourier reconstruction beats a flat-line (mean) approximation
+        on high-frequency data — the Figure 1 argument."""
+        sfa = SFA(word_length=16, sample_fraction=1.0).fit(oscillatory_dataset)
+        series = oscillatory_dataset[0]
+        reconstruction = sfa.reconstruct(sfa.transform(series), series.shape[0])
+        flat_error = np.linalg.norm(series - series.mean())
+        sfa_error = np.linalg.norm(series - reconstruction)
+        assert sfa_error < flat_error
+
+
+class TestLowerBounds:
+    @pytest.mark.parametrize("binning", ["equi-width", "equi-depth"])
+    @pytest.mark.parametrize("variance_selection", [True, False])
+    def test_mindist_is_lower_bound(self, oscillatory_dataset, binning, variance_selection):
+        """Core GEMINI requirement for every SFA variant used in the ablation."""
+        sfa = SFA(word_length=16, alphabet_size=64, binning=binning,
+                  variance_selection=variance_selection,
+                  sample_fraction=1.0).fit(oscillatory_dataset)
+        values = oscillatory_dataset.values
+        words = sfa.words(oscillatory_dataset)
+        for i in range(0, 20, 4):
+            query = values[i]
+            summary = sfa.transform(query)
+            lower = np.sqrt(sfa.mindist_batch(summary, words[60:]))
+            true = np.array([euclidean(query, row) for row in values[60:]])
+            assert np.all(lower <= true + 1e-9)
+
+    def test_mindist_zero_for_own_word(self, oscillatory_dataset):
+        sfa = SFA(word_length=8, sample_fraction=1.0).fit(oscillatory_dataset)
+        series = oscillatory_dataset[0]
+        assert sfa.mindist(sfa.transform(series), sfa.word(series)) == pytest.approx(0.0)
+
+    def test_numeric_lower_bound_is_dft_bound(self, oscillatory_dataset):
+        sfa = SFA(word_length=16, sample_fraction=1.0).fit(oscillatory_dataset)
+        a, b = oscillatory_dataset[0], oscillatory_dataset[1]
+        lower = sfa.lower_bound(sfa.transform(a), sfa.transform(b))
+        assert lower <= euclidean(a, b) + 1e-9
+
+    def test_symbolic_bound_never_exceeds_numeric_bound(self, oscillatory_dataset):
+        """Quantization can only lose information: mindist <= DFT lower bound."""
+        sfa = SFA(word_length=16, alphabet_size=16, sample_fraction=1.0).fit(oscillatory_dataset)
+        values = oscillatory_dataset.values
+        for i in range(0, 10, 2):
+            summary_a = sfa.transform(values[i])
+            summary_b = sfa.transform(values[i + 1])
+            word_b = sfa.word(values[i + 1])
+            symbolic = np.sqrt(sfa.mindist(summary_a, word_b))
+            numeric = sfa.lower_bound(summary_a, summary_b)
+            assert symbolic <= numeric + 1e-9
+
+    def test_equi_width_tlb_beats_isax_on_high_frequency_data(self, oscillatory_dataset):
+        """The paper's headline ablation claim, at small scale."""
+        from repro.transforms.sax import SAX
+
+        values = oscillatory_dataset.values
+        queries = values[:10]
+        candidates = values[50:]
+
+        def mean_tlb(summarization):
+            summarization.fit(oscillatory_dataset)
+            words = summarization.bins.symbols(
+                summarization.transform_batch(candidates))
+            ratios = []
+            for query in queries:
+                summary = summarization.transform(query)
+                lower = np.sqrt(summarization.mindist_batch(summary, words))
+                true = np.array([euclidean(query, row) for row in candidates])
+                ratios.append(np.mean(lower / true))
+            return float(np.mean(ratios))
+
+        sfa_tlb = mean_tlb(SFA(word_length=16, alphabet_size=64, sample_fraction=1.0))
+        sax_tlb = mean_tlb(SAX(word_length=16, alphabet_size=64))
+        assert sfa_tlb > sax_tlb
+
+
+@given(st.integers(min_value=0, max_value=10_000),
+       st.sampled_from(["equi-width", "equi-depth"]),
+       st.sampled_from([4, 16, 256]),
+       st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_sfa_mindist_lower_bound_property(seed, binning, alphabet_size, variance_selection):
+    """Property: the SFA mindist lower-bounds the Euclidean distance."""
+    rng = np.random.default_rng(seed)
+    matrix = rng.standard_normal((30, 48))
+    sfa = SFA(word_length=8, alphabet_size=alphabet_size, binning=binning,
+              variance_selection=variance_selection, sample_fraction=1.0,
+              num_candidate_coefficients=None).fit(matrix)
+    query = rng.standard_normal(48)
+    summary = sfa.transform(query)
+    words = sfa.words(matrix)
+    lower = np.sqrt(sfa.mindist_batch(summary, words))
+    true = np.array([euclidean(query, row) for row in matrix])
+    assert np.all(lower <= true + 1e-9)
