@@ -40,6 +40,7 @@ from repro.datasets import (
 )
 from repro.evaluation import WorkloadRunner, critical_difference, evaluate_tlb, tlb_study
 from repro.index import (
+    BatchSearcher,
     ExactSearcher,
     MessiIndex,
     SearchResult,
@@ -52,6 +53,7 @@ from repro.transforms import DFT, PAA, SAX, SFA, HierarchicalBins
 __version__ = "0.1.0"
 
 __all__ = [
+    "BatchSearcher",
     "DFT",
     "Dataset",
     "ExactSearcher",

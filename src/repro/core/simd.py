@@ -18,8 +18,16 @@ Python cannot issue vector instructions directly, so this module reproduces the
   operations and no early abandoning.
 * :func:`batch_lower_bound` evaluates one query against *many* candidate words
   at once, which is the production path used inside index leaves.
+* :func:`batch_lower_bound_multi` evaluates *many* queries against *many*
+  candidate words in one broadcasted call — the multi-query analogue of the
+  paper's AVX lane packing, used by the batched search engine to amortize
+  kernel launches across a whole query workload.
+* :func:`batch_lower_bound_pairs` evaluates a ragged set of row-aligned
+  (query, candidate) pairs in one call, which is how the batched engine
+  checks exactly the pairs the per-query engine would have checked without
+  cross-product work amplification.
 
-All three operate on the generic "mindist" formulation of Equation 2: per
+All of these operate on the generic "mindist" formulation of Equation 2: per
 dimension the distance is zero when the query value falls inside the
 candidate's quantization interval, otherwise it is the gap to the nearest
 breakpoint.  A per-dimension weight vector accounts for the factor 2 of the
@@ -183,3 +191,133 @@ def batch_lower_bound(query: np.ndarray, lower: np.ndarray, upper: np.ndarray,
     above = np.maximum(query[None, :] - upper, 0.0)
     gaps = below + above
     return np.einsum("ij,j->i", gaps * gaps, weights)
+
+
+#: Soft cap on the number of float64 elements the broadcasted ``(Q, C, l)``
+#: temporaries of :func:`batch_lower_bound_multi` may hold at once (~0.5 MB,
+#: so a chunk's working set stays inside the L2 cache; the kernel is
+#: memory-bound and falls off a cliff once temporaries spill to DRAM).
+_MULTI_CHUNK_ELEMENTS = 65_536
+
+
+def batch_lower_bound_multi(queries: np.ndarray, lower: np.ndarray, upper: np.ndarray,
+                            weights: np.ndarray | None = None,
+                            query_chunk: int | None = None) -> np.ndarray:
+    """Squared lower-bound distances of many queries against many candidates.
+
+    This is the multi-query generalisation of :func:`batch_lower_bound`: all
+    ``Q x C`` mindist values are produced by broadcasting, so a whole query
+    workload costs one kernel invocation instead of one per query.
+
+    Parameters
+    ----------
+    queries:
+        2-D array of shape ``(num_queries, l)`` of numeric query summaries.
+    lower, upper:
+        2-D arrays of shape ``(num_candidates, l)`` holding each candidate
+        word's per-dimension interval breakpoints.
+    weights:
+        Optional per-dimension weights (length ``l``).
+    query_chunk:
+        Evaluate at most this many queries per broadcasted step so the
+        ``(chunk, num_candidates, l)`` temporaries stay inside the L2 cache
+        (the kernel is memory-bound).  Defaults to a size targeting ~0.5 MB
+        of temporaries per chunk.
+
+    Returns
+    -------
+    numpy.ndarray
+        2-D array of shape ``(num_queries, num_candidates)``; row ``q`` equals
+        ``batch_lower_bound(queries[q], lower, upper, weights)``.
+    """
+    queries = np.asarray(queries, dtype=np.float64)
+    lower = np.asarray(lower, dtype=np.float64)
+    upper = np.asarray(upper, dtype=np.float64)
+    if queries.ndim != 2:
+        raise ValueError(f"queries must be 2-D, got shape {queries.shape}")
+    if lower.ndim != 2 or upper.shape != lower.shape:
+        raise ValueError("lower and upper must be 2-D arrays of identical shape")
+    if lower.shape[1] != queries.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: queries have {queries.shape[1]} values, "
+            f"candidates have {lower.shape[1]}"
+        )
+    if weights is None:
+        weights = np.ones(queries.shape[1], dtype=np.float64)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (queries.shape[1],):
+            raise ValueError("weights must be 1-D with one value per summary dimension")
+    if query_chunk is None:
+        per_query = max(1, lower.shape[0] * max(1, lower.shape[1]))
+        query_chunk = max(1, _MULTI_CHUNK_ELEMENTS // per_query)
+    elif query_chunk < 1:
+        raise ValueError(f"query_chunk must be positive, got {query_chunk}")
+
+    num_candidates = lower.shape[0]
+    word_length = lower.shape[1]
+    result = np.empty((queries.shape[0], num_candidates), dtype=np.float64)
+    for start in range(0, queries.shape[0], query_chunk):
+        block = queries[start:start + query_chunk]
+        # The (chunk, C, l) temporaries are mutated in place — the kernel is
+        # memory-bound, so avoiding intermediate allocations is what keeps it
+        # competitive with per-query calls while amortizing launch overhead.
+        gaps = lower[None, :, :] - block[:, None, :]
+        np.maximum(gaps, 0.0, out=gaps)
+        above = block[:, None, :] - upper[None, :, :]
+        np.maximum(above, 0.0, out=above)
+        gaps += above
+        gaps *= gaps
+        result[start:start + query_chunk] = (
+            gaps.reshape(-1, word_length) @ weights
+        ).reshape(block.shape[0], num_candidates)
+    return result
+
+
+def batch_lower_bound_pairs(query_rows: np.ndarray, lower: np.ndarray, upper: np.ndarray,
+                            weights: np.ndarray | None = None) -> np.ndarray:
+    """Squared lower bounds of row-aligned (query, candidate) pairs.
+
+    Unlike :func:`batch_lower_bound_multi`, which evaluates the full cross
+    product, this kernel evaluates exactly one pair per row: pair ``i``
+    compares query summary ``query_rows[i]`` against the candidate interval
+    ``(lower[i], upper[i])``.  The batched search engine uses it to evaluate a
+    ragged set of surviving (query, leaf-series) pairs — the pairs the
+    per-query engine would have checked — in one call, with no cross-product
+    work amplification.
+
+    Parameters
+    ----------
+    query_rows:
+        2-D array of shape ``(num_pairs, l)``; one query summary per pair
+        (typically a gather of a summary matrix, with repeats).
+    lower, upper:
+        2-D arrays of shape ``(num_pairs, l)``; one candidate interval per pair.
+    weights:
+        Optional per-dimension weights (length ``l``).
+
+    Returns
+    -------
+    numpy.ndarray
+        1-D array of ``num_pairs`` squared lower-bound distances.
+    """
+    query_rows = np.asarray(query_rows, dtype=np.float64)
+    lower = np.asarray(lower, dtype=np.float64)
+    upper = np.asarray(upper, dtype=np.float64)
+    if query_rows.ndim != 2:
+        raise ValueError(f"query_rows must be 2-D, got shape {query_rows.shape}")
+    if lower.shape != query_rows.shape or upper.shape != query_rows.shape:
+        raise ValueError("query_rows, lower and upper must share one shape")
+    if weights is None:
+        weights = np.ones(query_rows.shape[1], dtype=np.float64)
+    else:
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (query_rows.shape[1],):
+            raise ValueError("weights must be 1-D with one value per summary dimension")
+    gaps = lower - query_rows
+    np.maximum(gaps, 0.0, out=gaps)
+    above = query_rows - upper
+    np.maximum(above, 0.0, out=above)
+    gaps += above
+    gaps *= gaps
+    return gaps @ weights

@@ -1,5 +1,25 @@
-"""Tree indexes: the shared MESSI-style tree, MESSI (iSAX) and SOFA (SFA)."""
+"""Tree indexes and search engines: MESSI (iSAX), SOFA (SFA) and both the
+per-query and the batched multi-query exact searchers.
 
+Two engines answer exact k-NN queries over a built
+:class:`~repro.index.tree.TreeIndex`:
+
+* :class:`~repro.index.search.ExactSearcher` — one query at a time, the
+  paper's exploratory-analysis scenario (``knn`` / ``nearest_neighbor`` /
+  ``approximate_knn``).
+* :class:`~repro.index.batch_search.BatchSearcher` — whole query workloads at
+  once (``knn_batch``).  It vectorizes the lower-bound kernels and distance
+  GEMMs across queries as well as candidates, so throughput-oriented
+  workloads (benchmark sweeps, production query batches) run several times
+  faster than looping over ``knn`` while returning bit-identical results.
+  ``ExactSearcher.knn_batch`` and the index wrappers delegate to it.
+
+Prefer the batched engine whenever queries arrive in groups of a few dozen or
+more; prefer the per-query engine for single interactive lookups or when
+per-leaf work-item timings feed the virtual-core simulator.
+"""
+
+from repro.index.batch_search import BatchSearcher
 from repro.index.buffers import SummaryBuffer, fill_buffers
 from repro.index.messi import MessiIndex
 from repro.index.node import InnerNode, LeafNode, Node, root_child_word
@@ -9,6 +29,7 @@ from repro.index.stats import IndexStructureStats, compute_structure_stats
 from repro.index.tree import BuildTimings, TreeIndex
 
 __all__ = [
+    "BatchSearcher",
     "BuildTimings",
     "ExactSearcher",
     "IndexStructureStats",

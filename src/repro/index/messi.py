@@ -71,9 +71,14 @@ class MessiIndex:
         return self._require_built().approximate_knn(query, k=k,
                                                      max_refined_series=max_refined_series)
 
-    def knn_batch(self, queries: np.ndarray, k: int = 1) -> "list[SearchResult]":
-        """Exact k nearest neighbours for a batch of queries (one per row)."""
-        return self._require_built().knn_batch(queries, k=k)
+    def knn_batch(self, queries: np.ndarray, k: int = 1,
+                  num_workers: int = 1) -> "list[SearchResult]":
+        """Exact k-NN for a batch of queries, answered by the batched engine.
+
+        See :class:`~repro.index.batch_search.BatchSearcher`; ``num_workers``
+        shards the batch over a thread pool.
+        """
+        return self._require_built().knn_batch(queries, k=k, num_workers=num_workers)
 
     @property
     def timings(self):

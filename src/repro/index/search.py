@@ -20,6 +20,11 @@ k-NN uses the same machinery with the BSF being the k-th best distance found
 so far.  The searcher records per-leaf processing costs so the virtual-core
 simulator can estimate multi-worker query times (MESSI assigns priority-queue
 leaves to parallel workers).
+
+Whole query workloads should go through :meth:`ExactSearcher.knn_batch`,
+which delegates to the batched multi-query engine
+(:class:`~repro.index.batch_search.BatchSearcher`): same exact answers,
+several times the throughput once a few dozen queries are batched together.
 """
 
 from __future__ import annotations
@@ -33,7 +38,8 @@ import numpy as np
 from repro.core.distance import squared_euclidean_batch
 from repro.core.errors import SearchError
 from repro.core.normalization import znormalize
-from repro.index.node import LeafNode, root_child_word
+from repro.core.simd import batch_lower_bound
+from repro.index.node import LeafNode
 from repro.index.tree import TreeIndex
 
 
@@ -41,6 +47,7 @@ from repro.index.tree import TreeIndex
 class SearchStats:
     """Work counters and per-work-item timings of one exact query."""
 
+    num_series: int = 0
     leaves_visited: int = 0
     leaves_pruned_in_queue: int = 0
     nodes_pruned: int = 0
@@ -61,9 +68,9 @@ class SearchStats:
     @property
     def pruning_ratio(self) -> float:
         """Fraction of indexed series whose exact distance was never computed."""
-        if not hasattr(self, "_num_series") or self._num_series == 0:
+        if self.num_series == 0:
             return 0.0
-        return 1.0 - self.exact_distances / self._num_series
+        return 1.0 - self.exact_distances / self.num_series
 
 
 @dataclass
@@ -83,18 +90,45 @@ class SearchResult:
         return float(self.distances[0])
 
 
+def finalize_result(query: np.ndarray, values: np.ndarray, rows: np.ndarray,
+                    stats: SearchStats) -> SearchResult:
+    """Package the winning rows of a search into a :class:`SearchResult`.
+
+    The reported distances come from one final elementwise recomputation over
+    the winning rows in ascending-row order.  Refinement-time distance values
+    can drift by an ulp depending on how candidates were blocked into BLAS
+    kernel calls, so recomputing on a canonical row order makes per-query and
+    batched searches return bit-identical results.  Answers are sorted by
+    (distance, row), the same tie order as the refinement heap.
+    """
+    rows = np.sort(np.asarray(rows, dtype=np.int64))
+    difference = values[rows] - query
+    squared = np.einsum("ij,ij->i", difference, difference)
+    order = np.lexsort((rows, squared))
+    return SearchResult(indices=rows[order], distances=np.sqrt(squared[order]),
+                        stats=stats)
+
+
 class _KnnHeap:
-    """Fixed-capacity max-heap of the k best (distance², index) pairs."""
+    """Fixed-capacity max-heap of the k best (distance², index) pairs.
+
+    Entries are kept under the total order (distance², index): on tied
+    distances the smaller dataset row wins.  A total order makes the retained
+    set independent of the order candidates were offered in, which is what
+    lets the batched engine (whose refinement schedule differs) select the
+    same k answers.
+    """
 
     def __init__(self, k: int) -> None:
         self.k = k
-        self._heap: list[tuple[float, int]] = []  # (-distance², index)
+        self._heap: list[tuple[float, int]] = []  # (-distance², -index)
 
     def offer(self, squared_distance: float, index: int) -> None:
+        entry = (-squared_distance, -index)
         if len(self._heap) < self.k:
-            heapq.heappush(self._heap, (-squared_distance, index))
-        elif squared_distance < -self._heap[0][0]:
-            heapq.heapreplace(self._heap, (-squared_distance, index))
+            heapq.heappush(self._heap, entry)
+        elif entry > self._heap[0]:
+            heapq.heapreplace(self._heap, entry)
 
     @property
     def threshold(self) -> float:
@@ -104,7 +138,8 @@ class _KnnHeap:
         return -self._heap[0][0]
 
     def sorted_items(self) -> list[tuple[float, int]]:
-        return sorted(((-negative, index) for negative, index in self._heap))
+        return sorted((-negative_squared, -negative_index)
+                      for negative_squared, negative_index in self._heap)
 
 
 class ExactSearcher:
@@ -123,16 +158,26 @@ class ExactSearcher:
         some top bit — and provides no grouping at all; the searcher then
         filters and refines over the flat per-series directory instead of
         walking leaves one by one.  Both paths compute the same lower bounds
-        and return identical exact answers.
+        and return identical exact answers.  When left at ``None``, per-query
+        search uses the crossover 1.5 and :meth:`knn_batch` uses the batched
+        engine's higher default (its flat path's fixed cost amortizes over
+        the batch); an explicit value is honored by both.
     """
 
+    #: Default flat-refinement crossover of the per-query engine.
+    DEFAULT_FLAT_REFINEMENT_THRESHOLD = 1.5
+
     def __init__(self, index: TreeIndex, normalize_queries: bool = True,
-                 flat_refinement_threshold: float = 1.5) -> None:
+                 flat_refinement_threshold: float | None = None) -> None:
         if not index.is_built:
             raise SearchError("the index must be built before searching")
         self.index = index
         self.normalize_queries = normalize_queries
-        self.flat_refinement_threshold = flat_refinement_threshold
+        self._requested_flat_threshold = flat_refinement_threshold
+        self.flat_refinement_threshold = (
+            self.DEFAULT_FLAT_REFINEMENT_THRESHOLD
+            if flat_refinement_threshold is None else flat_refinement_threshold)
+        self._batch_searcher = None
 
     # ------------------------------------------------------------- public
 
@@ -156,8 +201,7 @@ class ExactSearcher:
         query_summary = summarization.transform(query)
         query_word = summarization.bins.symbols(query_summary)
 
-        stats = SearchStats()
-        stats._num_series = self.index.num_series
+        stats = SearchStats(num_series=self.index.num_series)
         heap = _KnnHeap(k)
 
         if self.index.average_leaf_size < self.flat_refinement_threshold:
@@ -182,10 +226,8 @@ class ExactSearcher:
             self._process_queue(query, query_summary, ordered_leaves, ordered_bounds,
                                 heap, stats)
 
-        items = heap.sorted_items()
-        indices = np.array([index for _, index in items], dtype=np.int64)
-        distances = np.sqrt(np.array([squared for squared, _ in items], dtype=np.float64))
-        return SearchResult(indices=indices, distances=distances, stats=stats)
+        rows = np.array([index for _, index in heap.sorted_items()], dtype=np.int64)
+        return finalize_result(query, self.index.dataset.values, rows, stats)
 
     def nearest_neighbor(self, query: np.ndarray) -> SearchResult:
         """Exact 1-NN of ``query`` (convenience wrapper around :meth:`knn`)."""
@@ -220,8 +262,7 @@ class ExactSearcher:
         summarization = self.index.summarization
         query_summary = summarization.transform(query)
 
-        stats = SearchStats()
-        stats._num_series = self.index.num_series
+        stats = SearchStats(num_series=self.index.num_series)
         heap = _KnnHeap(k)
 
         start = time.perf_counter()
@@ -240,20 +281,32 @@ class ExactSearcher:
             heap.offer(float(distance), int(row))
         stats.leaf_times.append(time.perf_counter() - start)
 
-        items = heap.sorted_items()
-        indices = np.array([index for _, index in items], dtype=np.int64)
-        distances = np.sqrt(np.array([squared_ for squared_, _ in items], dtype=np.float64))
-        return SearchResult(indices=indices, distances=distances, stats=stats)
+        rows_ = np.array([index for _, index in heap.sorted_items()], dtype=np.int64)
+        return finalize_result(query, self.index.dataset.values, rows_, stats)
 
-    def knn_batch(self, queries: np.ndarray, k: int = 1) -> list[SearchResult]:
-        """Exact k-NN of a batch of queries (one per row), answered sequentially.
+    def knn_batch(self, queries: np.ndarray, k: int = 1,
+                  num_workers: int = 1) -> list[SearchResult]:
+        """Exact k-NN of a batch of queries (one per row), answered together.
 
-        MESSI and SOFA process queries one after another (the exploratory
-        analysis scenario of the paper); this helper simply loops and returns
-        one :class:`SearchResult` per query.
+        Delegates to the :class:`~repro.index.batch_search.BatchSearcher`,
+        which vectorizes lower-bound and distance kernels across the whole
+        workload instead of looping over :meth:`knn`; the answers are the same
+        exact k-NN sets either way.  ``num_workers > 1`` shards the batch over
+        a thread pool (the underlying BLAS kernels release the GIL).
         """
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
-        return [self.knn(query, k=k) for query in queries]
+        from repro.index.batch_search import BatchSearcher
+
+        if self._batch_searcher is None:
+            # Unless the caller pinned a crossover explicitly, the batched
+            # engine keeps its own (higher) flat-refinement default: the flat
+            # path's fixed cost is amortized over the batch, so it pays off
+            # on trees the per-query searcher still walks.
+            options = {}
+            if self._requested_flat_threshold is not None:
+                options["flat_refinement_threshold"] = self._requested_flat_threshold
+            self._batch_searcher = BatchSearcher(
+                self.index, normalize_queries=self.normalize_queries, **options)
+        return self._batch_searcher.knn_batch(queries, k=k, num_workers=num_workers)
 
     # ------------------------------------------------------ approximate NN
 
@@ -264,27 +317,7 @@ class ExactSearcher:
         If no root child matches the query's 1-bit prefix, the leaf with the
         smallest lower bound (from the leaf directory) is used instead.
         """
-        bits = self.index.summarization.bits
-        key = root_child_word(query_word >> (bits - 1), None)
-        node = self.index.root_children.get(key)
-        if node is None:
-            return self._closest_leaf(query_summary)
-        while not node.is_leaf():
-            dimension = node.split_dimension
-            used_bits = int(node.bits[dimension]) + 1
-            bit = (int(query_word[dimension]) >> (bits - used_bits)) & 1
-            child = node.right if bit else node.left
-            if child is None:
-                child = node.left or node.right
-            node = child
-        return node
-
-    def _closest_leaf(self, query_summary: np.ndarray) -> LeafNode | None:
-        leaves = self.index.leaf_nodes
-        if not leaves:
-            return None
-        bounds = self.index.leaf_lower_bounds(query_summary)
-        return leaves[int(np.argmin(bounds))]
+        return self.index.approximate_leaf(query_word, query_summary)
 
     # ------------------------------------------------------ flat refinement
 
@@ -337,13 +370,12 @@ class ExactSearcher:
         bounds = self.index.leaf_lower_bounds(query_summary)
         surviving = np.flatnonzero(bounds < best_so_far)
         stats.nodes_pruned += len(self.index.leaf_nodes) - surviving.size
+        if skip_leaf is not None:
+            surviving = surviving[surviving != self.index.leaf_position(skip_leaf)]
         order = surviving[np.argsort(bounds[surviving])]
         leaves = self.index.leaf_nodes
-        ordered_leaves = [leaves[position] for position in order
-                          if leaves[position] is not skip_leaf]
-        ordered_bounds = np.array([bounds[position] for position in order
-                                   if leaves[position] is not skip_leaf])
-        return ordered_leaves, ordered_bounds
+        ordered_leaves = [leaves[position] for position in order]
+        return ordered_leaves, bounds[order]
 
     # ----------------------------------------------------------- refinement
 
@@ -386,8 +418,6 @@ class ExactSearcher:
                       group: list[LeafNode], heap: _KnnHeap, stats: SearchStats,
                       block_size: int = 32) -> None:
         """Refine several leaves with one concatenated batched kernel call."""
-        from repro.core.simd import batch_lower_bound
-
         start = time.perf_counter()
         stats.leaves_visited += len(group)
         threshold = heap.threshold

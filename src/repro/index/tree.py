@@ -29,8 +29,9 @@ import numpy as np
 
 from repro.core.errors import IndexError_, InvalidParameterError
 from repro.core.series import Dataset
+from repro.core.simd import batch_lower_bound, batch_lower_bound_multi
 from repro.index.buffers import SummaryBuffer, fill_buffers
-from repro.index.node import InnerNode, LeafNode, Node
+from repro.index.node import InnerNode, LeafNode, Node, root_child_word
 from repro.transforms.base import SymbolicSummarization
 
 #: Node-splitting policies supported by the tree.
@@ -103,6 +104,9 @@ class TreeIndex:
         self.leaf_nodes: list[LeafNode] = []
         self._leaf_lower: np.ndarray | None = None
         self._leaf_upper: np.ndarray | None = None
+        self._leaf_positions: dict[int, int] = {}
+        self._leaf_offsets: np.ndarray | None = None
+        self._leaf_sizes: np.ndarray | None = None
         self._series_lower: np.ndarray | None = None
         self._series_upper: np.ndarray | None = None
         self._series_rows: np.ndarray | None = None
@@ -160,6 +164,12 @@ class TreeIndex:
             upper_rows.append(upper)
         self._leaf_lower = np.vstack(lower_rows)
         self._leaf_upper = np.vstack(upper_rows)
+        self._leaf_positions = {id(leaf): position
+                                for position, leaf in enumerate(self.leaf_nodes)}
+        self._leaf_sizes = np.array([leaf.size for leaf in self.leaf_nodes],
+                                    dtype=np.int64)
+        self._leaf_offsets = np.concatenate(
+            [[0], np.cumsum(self._leaf_sizes[:-1])]).astype(np.int64)
         self._series_lower = np.vstack([leaf.lower for leaf in self.leaf_nodes])
         self._series_upper = np.vstack([leaf.upper for leaf in self.leaf_nodes])
         self._series_rows = np.concatenate([leaf.indices for leaf in self.leaf_nodes])
@@ -172,18 +182,23 @@ class TreeIndex:
         return self.num_series / len(self.leaf_nodes)
 
     def all_series_lower_bounds(self, query_summary: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Squared lower bounds between a query summary and every indexed series.
+        """Squared lower bounds between query summaries and every indexed series.
 
         Returns ``(bounds, rows)`` where ``rows[i]`` is the dataset row the
-        ``i``-th bound belongs to.  One vectorized kernel call over the flat
-        per-series directory.
+        ``i``-th bound belongs to.  A 1-D ``query_summary`` yields 1-D bounds;
+        a ``(Q, l)`` summary matrix yields a ``(Q, num_series)`` bound matrix
+        from one multi-query kernel call.
         """
-        from repro.core.simd import batch_lower_bound
-
         if self._series_lower is None:
             raise IndexError_("index has not been built yet")
-        bounds = batch_lower_bound(query_summary, self._series_lower, self._series_upper,
-                                   self.summarization.weights)
+        summaries = np.asarray(query_summary, dtype=np.float64)
+        if summaries.ndim == 2:
+            bounds = batch_lower_bound_multi(summaries, self._series_lower,
+                                             self._series_upper,
+                                             self.summarization.weights)
+        else:
+            bounds = batch_lower_bound(summaries, self._series_lower, self._series_upper,
+                                       self.summarization.weights)
         return bounds, self._series_rows
 
     def _summarize_in_chunks(self, dataset: Dataset, timings: BuildTimings) -> np.ndarray:
@@ -291,24 +306,80 @@ class TreeIndex:
         return self.summarization.mindist(query_summary, node.symbols, node.bits)
 
     def leaf_lower_bounds(self, query_summary: np.ndarray) -> np.ndarray:
-        """Squared lower bounds between a query summary and every leaf's region.
+        """Squared lower bounds between query summaries and every leaf's region.
 
         One vectorized kernel call over the leaf directory — the query-time
-        analogue of MESSI's parallel subtree traversal.
+        analogue of MESSI's parallel subtree traversal.  A 1-D summary yields
+        one bound per leaf; a ``(Q, l)`` summary matrix yields the full
+        ``(Q, num_leaves)`` bound matrix of the batched engine.
         """
-        from repro.core.simd import batch_lower_bound
-
         if self._leaf_lower is None:
             raise IndexError_("index has not been built yet")
-        return batch_lower_bound(query_summary, self._leaf_lower, self._leaf_upper,
+        summaries = np.asarray(query_summary, dtype=np.float64)
+        if summaries.ndim == 2:
+            return batch_lower_bound_multi(summaries, self._leaf_lower, self._leaf_upper,
+                                           self.summarization.weights)
+        return batch_lower_bound(summaries, self._leaf_lower, self._leaf_upper,
                                  self.summarization.weights)
 
     def series_lower_bounds(self, query_summary: np.ndarray, leaf: LeafNode) -> np.ndarray:
-        """Squared lower bounds between a query summary and every series of a leaf."""
-        from repro.core.simd import batch_lower_bound
-
-        return batch_lower_bound(query_summary, leaf.lower, leaf.upper,
+        """Squared lower bounds between query summaries and every series of a leaf."""
+        summaries = np.asarray(query_summary, dtype=np.float64)
+        if summaries.ndim == 2:
+            return batch_lower_bound_multi(summaries, leaf.lower, leaf.upper,
+                                           self.summarization.weights)
+        return batch_lower_bound(summaries, leaf.lower, leaf.upper,
                                  self.summarization.weights)
+
+    def leaf_position(self, leaf: LeafNode) -> int:
+        """Position of ``leaf`` in the leaf directory (``leaf_nodes`` order)."""
+        try:
+            return self._leaf_positions[id(leaf)]
+        except KeyError:
+            raise IndexError_("leaf does not belong to this index") from None
+
+    def series_directory(self) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                                        np.ndarray, np.ndarray]:
+        """The flat per-series directory backing batched refinement.
+
+        Returns ``(lower, upper, rows, leaf_offsets, leaf_sizes)``: the
+        per-series quantization intervals and dataset rows of every indexed
+        series concatenated in leaf order, plus each leaf's starting offset
+        and size in those arrays.  The batched engine gathers arbitrary
+        (query, leaf) work sets from these arrays instead of re-stacking leaf
+        contents per refinement call.
+        """
+        if self._series_lower is None:
+            raise IndexError_("index has not been built yet")
+        return (self._series_lower, self._series_upper, self._series_rows,
+                self._leaf_offsets, self._leaf_sizes)
+
+    def approximate_leaf(self, query_word: np.ndarray,
+                         query_summary: np.ndarray) -> LeafNode | None:
+        """The leaf whose region contains the query word (approximate descent).
+
+        Descends from the root child matching the query's 1-bit prefix; when no
+        such child exists the leaf with the smallest lower bound (from the leaf
+        directory) is returned instead.  This is step 1 of exact search and the
+        seed step of the batched engine.
+        """
+        bits = self.summarization.bits
+        key = root_child_word(query_word >> (bits - 1), None)
+        node = self.root_children.get(key)
+        if node is None:
+            if not self.leaf_nodes:
+                return None
+            bounds = self.leaf_lower_bounds(query_summary)
+            return self.leaf_nodes[int(np.argmin(bounds))]
+        while not node.is_leaf():
+            dimension = node.split_dimension
+            used_bits = int(node.bits[dimension]) + 1
+            bit = (int(query_word[dimension]) >> (bits - used_bits)) & 1
+            child = node.right if bit else node.left
+            if child is None:
+                child = node.left or node.right
+            node = child
+        return node
 
     def __len__(self) -> int:
         return self.num_series

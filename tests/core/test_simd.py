@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 
 from repro.core.simd import (
     batch_lower_bound,
+    batch_lower_bound_multi,
+    batch_lower_bound_pairs,
     chunked_masked_lower_bound,
     scalar_lower_bound,
     vectorized_lower_bound,
@@ -136,6 +138,93 @@ class TestBatchLowerBound:
         lower = np.array([[0.0, 0.0]])
         upper = np.array([[1.0, 1.0]])
         assert batch_lower_bound(query, lower, upper)[0] == pytest.approx(1.0 + 4.0)
+
+
+def _random_multi_case(seed: int, num_queries: int = 7, num_candidates: int = 23,
+                       dims: int = 16):
+    rng = np.random.default_rng(seed)
+    queries = rng.standard_normal((num_queries, dims))
+    centers = rng.standard_normal((num_candidates, dims))
+    widths = rng.uniform(0.1, 2.0, (num_candidates, dims))
+    lower = centers - widths / 2
+    upper = centers + widths / 2
+    weights = rng.uniform(0.5, 3.0, dims)
+    return queries, lower, upper, weights
+
+
+class TestBatchLowerBoundMulti:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rows_match_single_query_kernel(self, seed):
+        queries, lower, upper, weights = _random_multi_case(seed)
+        result = batch_lower_bound_multi(queries, lower, upper, weights)
+        assert result.shape == (queries.shape[0], lower.shape[0])
+        for row, query in enumerate(queries):
+            assert np.allclose(result[row], batch_lower_bound(query, lower, upper, weights))
+
+    def test_query_chunking_does_not_change_result(self):
+        # Different chunk sizes may route the weighted-sum finisher to
+        # different BLAS kernels, so agreement is up to float rounding.
+        queries, lower, upper, weights = _random_multi_case(3, num_queries=11)
+        reference = batch_lower_bound_multi(queries, lower, upper, weights)
+        for chunk in (1, 2, 5, 100):
+            chunked = batch_lower_bound_multi(queries, lower, upper, weights,
+                                              query_chunk=chunk)
+            assert np.allclose(chunked, reference, rtol=1e-12, atol=1e-12)
+
+    def test_default_weights_are_ones(self):
+        queries = np.array([[2.0, -2.0]])
+        lower = np.array([[0.0, 0.0]])
+        upper = np.array([[1.0, 1.0]])
+        result = batch_lower_bound_multi(queries, lower, upper)
+        assert result[0, 0] == pytest.approx(1.0 + 4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_lower_bound_multi(np.zeros(4), np.zeros((3, 4)), np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            batch_lower_bound_multi(np.zeros((2, 4)), np.zeros((3, 5)), np.zeros((3, 5)))
+        with pytest.raises(ValueError):
+            batch_lower_bound_multi(np.zeros((2, 4)), np.zeros((3, 4)), np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            batch_lower_bound_multi(np.zeros((2, 4)), np.zeros((3, 4)), np.zeros((3, 4)),
+                                    weights=np.ones(3))
+        with pytest.raises(ValueError):
+            batch_lower_bound_multi(np.zeros((2, 4)), np.zeros((3, 4)), np.zeros((3, 4)),
+                                    query_chunk=0)
+
+
+class TestBatchLowerBoundPairs:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_pairs_match_cross_product_diagonal(self, seed):
+        queries, lower, upper, weights = _random_multi_case(seed, num_queries=9,
+                                                            num_candidates=9)
+        paired = batch_lower_bound_pairs(queries, lower, upper, weights)
+        full = batch_lower_bound_multi(queries, lower, upper, weights)
+        assert paired.shape == (9,)
+        assert np.allclose(paired, np.diagonal(full))
+
+    def test_gathered_pairs_match_per_pair_kernel(self):
+        queries, lower, upper, weights = _random_multi_case(17, num_queries=4,
+                                                            num_candidates=30)
+        rng = np.random.default_rng(17)
+        pair_query = np.sort(rng.integers(0, 4, size=50))
+        pair_candidate = rng.integers(0, 30, size=50)
+        paired = batch_lower_bound_pairs(queries[pair_query], lower[pair_candidate],
+                                         upper[pair_candidate], weights)
+        for position in range(50):
+            expected = vectorized_lower_bound(queries[pair_query[position]],
+                                              lower[pair_candidate[position]],
+                                              upper[pair_candidate[position]], weights)
+            assert paired[position] == pytest.approx(expected)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_lower_bound_pairs(np.zeros(4), np.zeros((1, 4)), np.zeros((1, 4)))
+        with pytest.raises(ValueError):
+            batch_lower_bound_pairs(np.zeros((2, 4)), np.zeros((3, 4)), np.zeros((3, 4)))
+        with pytest.raises(ValueError):
+            batch_lower_bound_pairs(np.zeros((2, 4)), np.zeros((2, 4)), np.zeros((2, 4)),
+                                    weights=np.ones((2, 4)))
 
 
 class TestValidation:
