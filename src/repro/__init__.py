@@ -47,6 +47,8 @@ from repro.index import (
     SofaIndex,
     TreeIndex,
     compute_structure_stats,
+    load_index,
+    save_index,
 )
 from repro.transforms import DFT, PAA, SAX, SFA, HierarchicalBins
 
@@ -79,7 +81,9 @@ __all__ = [
     "high_frequency_names",
     "load_benchmark_suite",
     "load_dataset",
+    "load_index",
     "perturbed_queries",
+    "save_index",
     "split_queries",
     "squared_euclidean",
     "tightness_of_lower_bound",

@@ -30,12 +30,18 @@ class Dataset:
         When true (the default) the values are z-normalized row-wise on
         construction, matching the paper's use of the z-normalized Euclidean
         distance.
+    validate:
+        When true (the default) the values are scanned for NaN/infinite
+        entries.  Snapshot loading passes false so that a memory-mapped value
+        matrix is adopted without touching (paging in) every element; the
+        arrays were validated when the snapshot's source dataset was built.
     """
 
     values: np.ndarray
     name: str = "dataset"
     normalize: bool = True
     metadata: dict = field(default_factory=dict)
+    validate: bool = True
 
     def __post_init__(self) -> None:
         values = np.asarray(self.values, dtype=np.float64)
@@ -47,7 +53,7 @@ class Dataset:
             )
         if values.shape[0] == 0 or values.shape[1] == 0:
             raise DatasetError(f"dataset '{self.name}' must not be empty")
-        if not np.isfinite(values).all():
+        if self.validate and not np.isfinite(values).all():
             raise DatasetError(f"dataset '{self.name}' contains NaN or infinite values")
         if self.normalize:
             values = znormalize_batch(values)

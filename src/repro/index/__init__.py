@@ -23,6 +23,14 @@ from repro.index.batch_search import BatchSearcher
 from repro.index.buffers import SummaryBuffer, fill_buffers
 from repro.index.messi import MessiIndex
 from repro.index.node import InnerNode, LeafNode, Node, root_child_word
+from repro.index.persistence import (
+    FORMAT_VERSION,
+    load_index,
+    load_tree,
+    read_manifest,
+    save_index,
+    save_tree,
+)
 from repro.index.search import ExactSearcher, SearchResult, SearchStats
 from repro.index.sofa import SofaIndex
 from repro.index.stats import IndexStructureStats, compute_structure_stats
@@ -32,6 +40,7 @@ __all__ = [
     "BatchSearcher",
     "BuildTimings",
     "ExactSearcher",
+    "FORMAT_VERSION",
     "IndexStructureStats",
     "InnerNode",
     "LeafNode",
@@ -44,5 +53,10 @@ __all__ = [
     "TreeIndex",
     "compute_structure_stats",
     "fill_buffers",
+    "load_index",
+    "load_tree",
+    "read_manifest",
     "root_child_word",
+    "save_index",
+    "save_tree",
 ]

@@ -39,6 +39,25 @@ class Node:
         """Yield every leaf in the subtree rooted at this node."""
         raise NotImplementedError
 
+    def iter_nodes(self):
+        """Yield every node of this subtree in preorder (parents before children).
+
+        Iterative on an explicit stack so arbitrarily deep trees (up to
+        ``word_length * bits`` splits) never hit the interpreter recursion
+        limit; the snapshot flattening of the persistence subsystem relies on
+        the preorder guarantee that children always follow their parent.
+        """
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf():
+                # Push right first so the left child is visited first.
+                if node.right is not None:
+                    stack.append(node.right)
+                if node.left is not None:
+                    stack.append(node.left)
+
     def depth(self) -> int:
         """Height of the subtree rooted at this node (a leaf has depth 1)."""
         raise NotImplementedError

@@ -1,0 +1,480 @@
+"""Versioned on-disk snapshots of built indexes (save once, mmap-load many).
+
+Every process that answers queries over a SOFA/MESSI index today first pays
+the full construction cost: learning the summarization, transforming every
+series and growing the tree.  This module turns a *built* index into a
+directory snapshot that any number of later processes can open in
+milliseconds:
+
+* ``manifest.json`` — format magic + version, the index/tree/summarization
+  configuration, dataset identity and the recorded build timings;
+* one ``.npy`` file per array — the dataset's (normalized) value matrix, the
+  full-resolution word matrix, the flattened tree topology (node words, split
+  dimensions, child links), the leaf directory (per-leaf and per-series
+  quantization intervals, dataset rows, offsets) and the summarization's
+  learned state (breakpoints, weights, selected Fourier components).
+
+``load(path, mmap=True)`` opens the large row-major payloads (values, words,
+interval matrices) with ``numpy.load(..., mmap_mode="r")``: nothing is copied
+into anonymous memory, the OS pages data in on first touch, and concurrent
+processes serving the same snapshot share one page-cache copy — the
+prerequisite for the ROADMAP's multi-process serving and sharding.  The small
+structure arrays (node topology, leaf sizes) are materialized eagerly because
+they are walked element-wise while rebuilding node objects.
+
+A loaded index answers ``knn`` / ``knn_batch`` bit-identically to the freshly
+built one: the search engines consume exactly the arrays the snapshot stores,
+so every lower bound, pruning decision and refined distance is computed from
+the same float64 values either way.
+
+Snapshots are versioned.  :data:`FORMAT_VERSION` is bumped whenever the
+layout changes; loading a snapshot written by a newer library raises a clear
+:class:`~repro.core.errors.IndexError_` instead of a numpy decode error.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.errors import IndexError_
+from repro.core.series import Dataset
+from repro.index.messi import MessiIndex
+from repro.index.node import InnerNode, LeafNode
+from repro.index.search import ExactSearcher
+from repro.index.sofa import SofaIndex
+from repro.index.tree import BuildTimings, TreeIndex
+from repro.transforms.sax import SAX
+from repro.transforms.sfa import SFA
+
+#: Magic string identifying a repro index snapshot directory.
+FORMAT_MAGIC = "repro-index-snapshot"
+
+#: Current snapshot layout version.  Bump on any incompatible layout change.
+FORMAT_VERSION = 1
+
+#: Manifest file name inside a snapshot directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Arrays that are memory-mapped under ``mmap=True`` (the large, row-major
+#: payloads sliced or gathered wholesale at query time).  Everything else is
+#: small structure state that load-time reconstruction walks element-wise.
+_MMAP_ARRAYS = frozenset({
+    "values",
+    "leaf_words",
+    "series_lower",
+    "series_upper",
+    "series_rows",
+    "leaf_lower",
+    "leaf_upper",
+})
+
+#: Summarization registry: manifest type name -> class with snapshot support.
+_SUMMARIZATIONS = {"SAX": SAX, "SFA": SFA}
+
+#: Index-wrapper registry: manifest index_type -> wrapper class (``tree``
+#: snapshots have no wrapper and are handled separately).
+_WRAPPERS = {"sofa": SofaIndex, "messi": MessiIndex}
+
+
+# --------------------------------------------------------------------- saving
+
+
+def _json_safe(mapping: dict) -> dict:
+    """Best-effort JSON-serializable copy of a metadata dict (drops the rest)."""
+    safe = {}
+    for key, value in mapping.items():
+        try:
+            json.dumps({str(key): value})
+        except (TypeError, ValueError):
+            continue
+        safe[str(key)] = value
+    return safe
+
+
+def _flatten_tree(tree: TreeIndex) -> dict[str, np.ndarray]:
+    """Flatten the node forest into preorder structure arrays.
+
+    Node ``0..num_nodes-1`` enumerate every node of every root subtree in
+    preorder (children always after their parent), so reconstruction can
+    rebuild bottom-up with one reversed pass.  Leaves carry their position in
+    the leaf directory (``node_leaf``); inner nodes carry child links.
+    """
+    word_length = tree.summarization.bins.num_dimensions
+    nodes = []
+    node_of = {}
+    root_keys = []
+    root_nodes = []
+    for key, subtree in tree.root_children.items():
+        root_keys.append(key)
+        root_nodes.append(len(nodes))
+        for node in subtree.iter_nodes():
+            node_of[id(node)] = len(nodes)
+            nodes.append(node)
+
+    num_nodes = len(nodes)
+    node_symbols = np.empty((num_nodes, word_length), dtype=np.int64)
+    node_bits = np.empty((num_nodes, word_length), dtype=np.int64)
+    node_split = np.full(num_nodes, -1, dtype=np.int64)
+    node_left = np.full(num_nodes, -1, dtype=np.int64)
+    node_right = np.full(num_nodes, -1, dtype=np.int64)
+    node_leaf = np.full(num_nodes, -1, dtype=np.int64)
+    for position, node in enumerate(nodes):
+        node_symbols[position] = node.symbols
+        node_bits[position] = node.bits
+        if node.is_leaf():
+            node_leaf[position] = tree.leaf_position(node)
+        else:
+            node_split[position] = node.split_dimension
+            if node.left is not None:
+                node_left[position] = node_of[id(node.left)]
+            if node.right is not None:
+                node_right[position] = node_of[id(node.right)]
+
+    (series_lower, series_upper, series_rows,
+     _leaf_offsets, leaf_sizes) = tree.series_directory()
+    return {
+        "node_symbols": node_symbols,
+        "node_bits": node_bits,
+        "node_split": node_split,
+        "node_left": node_left,
+        "node_right": node_right,
+        "node_leaf": node_leaf,
+        "root_keys": np.asarray(root_keys, dtype=np.int64).reshape(
+            len(root_keys), word_length),
+        "root_nodes": np.asarray(root_nodes, dtype=np.int64),
+        "leaf_sizes": np.asarray(leaf_sizes, dtype=np.int64),
+        "leaf_lower": tree._leaf_lower,
+        "leaf_upper": tree._leaf_upper,
+        "series_lower": series_lower,
+        "series_upper": series_upper,
+        "series_rows": np.asarray(series_rows, dtype=np.int64),
+        "leaf_words": np.vstack([leaf.words for leaf in tree.leaf_nodes]),
+    }
+
+
+def save_tree(tree: TreeIndex, path: "str | Path",
+              index_type: str = "tree") -> Path:
+    """Write a built :class:`TreeIndex` as a versioned snapshot directory.
+
+    Returns the snapshot path.  ``index_type`` records which wrapper the
+    snapshot restores to (``"sofa"``, ``"messi"`` or the bare ``"tree"``).
+    """
+    if not tree.is_built:
+        raise IndexError_("only a built index can be saved")
+    if index_type != "tree" and index_type not in _WRAPPERS:
+        raise IndexError_(f"unknown index_type '{index_type}'")
+    summarization = tree.summarization
+    type_name = type(summarization).__name__
+    if type_name not in _SUMMARIZATIONS:
+        raise IndexError_(
+            f"summarization {type_name} does not support snapshots"
+        )
+    summarization_config, summarization_arrays = summarization.snapshot_state()
+
+    path = Path(path)
+    path.mkdir(parents=True, exist_ok=True)
+    existing = path / MANIFEST_NAME
+    if any(path.iterdir()) and not existing.exists():
+        raise IndexError_(
+            f"refusing to write snapshot into non-empty directory {path} "
+            "that is not an existing snapshot"
+        )
+
+    arrays = dict(_flatten_tree(tree))
+    arrays["values"] = tree.dataset.values
+    for name, array in summarization_arrays.items():
+        arrays[f"summarization_{name}"] = array
+
+    # Write-to-temp-then-rename, one file at a time.  The rename replaces the
+    # directory entry while any mapped old inode stays alive, so re-saving a
+    # snapshot *in place* is safe even while a mmap-loaded index (possibly
+    # this very one) is still reading the old files; a crash mid-save leaves
+    # either the complete old file or the complete new one, never a torn mix.
+    for name, array in arrays.items():
+        temporary = path / f"{name}.tmp.npy"
+        np.save(temporary, np.ascontiguousarray(array))
+        temporary.replace(path / f"{name}.npy")
+
+    manifest = {
+        "format": FORMAT_MAGIC,
+        "version": FORMAT_VERSION,
+        "index_type": index_type,
+        "tree": {
+            "leaf_size": tree.leaf_size,
+            "split_policy": tree.split_policy,
+            "transform_chunks": tree.transform_chunks,
+            "num_series": tree.num_series,
+            "series_length": tree.dataset.series_length,
+            "num_leaves": len(tree.leaf_nodes),
+        },
+        "summarization": {"type": type_name, **summarization_config},
+        "dataset": {
+            "name": tree.dataset.name,
+            "metadata": _json_safe(tree.dataset.metadata),
+        },
+        "timings": {
+            "learn_time": tree.timings.learn_time,
+            "transform_chunk_times": list(tree.timings.transform_chunk_times),
+            "subtree_times": list(tree.timings.subtree_times),
+        },
+        "arrays": sorted(arrays),
+    }
+    temporary = path / f"{MANIFEST_NAME}.tmp"
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    temporary.replace(path / MANIFEST_NAME)
+    return path
+
+
+# -------------------------------------------------------------------- loading
+
+
+def read_manifest(path: "str | Path") -> dict:
+    """Read and validate a snapshot manifest (format magic and version)."""
+    path = Path(path)
+    manifest_path = path / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise IndexError_(
+            f"{path} is not an index snapshot (missing {MANIFEST_NAME})"
+        )
+    try:
+        with open(manifest_path, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise IndexError_(f"unreadable snapshot manifest {manifest_path}: {error}") from None
+    if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_MAGIC:
+        raise IndexError_(
+            f"{path} is not an index snapshot (bad or missing format magic)"
+        )
+    version = manifest.get("version")
+    if not isinstance(version, int) or version < 1:
+        raise IndexError_(f"snapshot {path} has an invalid format version: {version!r}")
+    if version > FORMAT_VERSION:
+        raise IndexError_(
+            f"snapshot {path} uses format version {version}, but this library "
+            f"only supports versions up to {FORMAT_VERSION}; upgrade the "
+            "library or re-save the index with this version"
+        )
+    required = {
+        "arrays": (),
+        "summarization": ("type",),
+        "tree": ("leaf_size", "split_policy", "transform_chunks", "num_leaves"),
+    }
+    for key, subkeys in required.items():
+        section = manifest.get(key)
+        if section is None:
+            raise IndexError_(
+                f"snapshot {path} manifest is missing required key '{key}'"
+            )
+        for subkey in subkeys:
+            if subkey not in section:
+                raise IndexError_(
+                    f"snapshot {path} manifest is missing required key "
+                    f"'{key}.{subkey}'"
+                )
+    return manifest
+
+
+def _load_arrays(path: Path, names: list[str], mmap: bool) -> dict[str, np.ndarray]:
+    arrays = {}
+    for name in names:
+        array_path = path / f"{name}.npy"
+        if not array_path.is_file():
+            raise IndexError_(f"snapshot {path} is missing array file {name}.npy")
+        mode = "r" if (mmap and name in _MMAP_ARRAYS) else None
+        arrays[name] = np.load(array_path, mmap_mode=mode)
+    return arrays
+
+
+def _restore_summarization(manifest: dict, arrays: dict):
+    config = dict(manifest["summarization"])
+    type_name = config.pop("type", None)
+    summarization_cls = _SUMMARIZATIONS.get(type_name)
+    if summarization_cls is None:
+        raise IndexError_(f"snapshot uses unknown summarization type '{type_name}'")
+    prefix = "summarization_"
+    state = {name[len(prefix):]: array for name, array in arrays.items()
+             if name.startswith(prefix)}
+    return summarization_cls.from_snapshot(config, state)
+
+
+def _restore_nodes(arrays: dict, leaf_payloads: list[LeafNode]) -> list:
+    """Rebuild every node object from the preorder structure arrays.
+
+    ``leaf_payloads`` holds the ready LeafNode of each leaf-directory
+    position; the reversed preorder pass guarantees both children exist by the
+    time their parent is constructed.  The link columns are converted to
+    Python lists up front: element-wise numpy (worse, memmap) scalar access
+    inside the loop would dominate load time on degenerate trees with
+    thousands of nodes.
+    """
+    node_symbols = np.asarray(arrays["node_symbols"])
+    node_bits = np.asarray(arrays["node_bits"])
+    node_split = np.asarray(arrays["node_split"]).tolist()
+    node_left = np.asarray(arrays["node_left"]).tolist()
+    node_right = np.asarray(arrays["node_right"]).tolist()
+    node_leaf = np.asarray(arrays["node_leaf"]).tolist()
+    num_nodes = node_symbols.shape[0]
+    nodes: list = [None] * num_nodes
+    for position in range(num_nodes - 1, -1, -1):
+        leaf_id = node_leaf[position]
+        if leaf_id >= 0:
+            nodes[position] = leaf_payloads[leaf_id]
+        else:
+            left = node_left[position]
+            right = node_right[position]
+            nodes[position] = InnerNode(
+                symbols=node_symbols[position],
+                bits=node_bits[position],
+                split_dimension=node_split[position],
+                left=nodes[left] if left >= 0 else None,
+                right=nodes[right] if right >= 0 else None,
+            )
+    return nodes
+
+
+def load_tree(path: "str | Path", mmap: bool = True,
+              manifest: dict | None = None) -> TreeIndex:
+    """Load a snapshot back into a fully built :class:`TreeIndex`.
+
+    With ``mmap=True`` (the default) the value matrix, word matrix and
+    interval matrices are memory-mapped read-only; leaf payloads become
+    zero-copy row slices of those maps, so loading touches only the structure
+    arrays and the first query pays the page-in cost of exactly the data it
+    prunes down to.
+    """
+    path = Path(path)
+    if manifest is None:
+        manifest = read_manifest(path)
+    arrays = _load_arrays(path, list(manifest["arrays"]), mmap=mmap)
+    summarization = _restore_summarization(manifest, arrays)
+
+    tree_config = manifest["tree"]
+    tree = TreeIndex(summarization,
+                     leaf_size=int(tree_config["leaf_size"]),
+                     split_policy=tree_config["split_policy"],
+                     transform_chunks=int(tree_config["transform_chunks"]))
+
+    dataset_config = manifest.get("dataset", {})
+    tree.dataset = Dataset(arrays["values"],
+                           name=dataset_config.get("name", "dataset"),
+                           normalize=False,
+                           metadata=dict(dataset_config.get("metadata", {})),
+                           validate=False)
+
+    leaf_sizes = np.ascontiguousarray(arrays["leaf_sizes"], dtype=np.int64)
+    leaf_offsets = np.concatenate([[0], np.cumsum(leaf_sizes[:-1])]).astype(np.int64)
+    node_symbols = np.asarray(arrays["node_symbols"])
+    node_bits = np.asarray(arrays["node_bits"])
+    node_leaf = np.asarray(arrays["node_leaf"])
+    # Slice leaf payloads from base-class ndarray *views* of the maps: the
+    # views share the mmap buffer (still zero-copy) but skip the np.memmap
+    # subclass slicing overhead, which dominates on thousands of leaves.
+    leaf_words = np.asarray(arrays["leaf_words"])
+    series_lower = np.asarray(arrays["series_lower"])
+    series_upper = np.asarray(arrays["series_upper"])
+    series_rows = np.asarray(arrays["series_rows"])
+
+    num_leaves = int(tree_config["num_leaves"])
+    leaf_payloads: list[LeafNode | None] = [None] * num_leaves
+    leaf_positions = np.flatnonzero(node_leaf >= 0)
+    leaf_ids = node_leaf[leaf_positions].tolist()
+    starts = leaf_offsets.tolist()
+    sizes = leaf_sizes.tolist()
+    for position, leaf_id in zip(leaf_positions.tolist(), leaf_ids):
+        start = starts[leaf_id]
+        stop = start + sizes[leaf_id]
+        leaf_payloads[leaf_id] = LeafNode(
+            symbols=node_symbols[position],
+            bits=node_bits[position],
+            indices=series_rows[start:stop],
+            words=leaf_words[start:stop],
+            lower=series_lower[start:stop],
+            upper=series_upper[start:stop],
+        )
+    if any(leaf is None for leaf in leaf_payloads):
+        raise IndexError_(f"snapshot {path} is corrupt: leaf directory and "
+                          "node arrays disagree")
+
+    nodes = _restore_nodes(arrays, leaf_payloads)
+    root_keys = np.asarray(arrays["root_keys"]).tolist()
+    root_nodes = np.asarray(arrays["root_nodes"]).tolist()
+    tree.root_children = {
+        tuple(key): nodes[node] for key, node in zip(root_keys, root_nodes)
+    }
+
+    # Install the leaf directory directly from the stored arrays (bit-identical
+    # to what _build_leaf_directory would recompute, without touching the data).
+    tree.leaf_nodes = list(leaf_payloads)
+    tree._leaf_lower = arrays["leaf_lower"]
+    tree._leaf_upper = arrays["leaf_upper"]
+    tree._leaf_positions = {id(leaf): position
+                            for position, leaf in enumerate(tree.leaf_nodes)}
+    tree._leaf_sizes = leaf_sizes
+    tree._leaf_offsets = leaf_offsets
+    tree._series_lower = series_lower
+    tree._series_upper = series_upper
+    tree._series_rows = series_rows
+
+    # Words in dataset-row order (scatter back from leaf order).
+    words = np.empty_like(np.asarray(leaf_words))
+    words[np.asarray(series_rows)] = leaf_words
+    tree._words = words
+
+    timings = manifest.get("timings", {})
+    tree.timings = BuildTimings(
+        learn_time=float(timings.get("learn_time", 0.0)),
+        transform_chunk_times=[float(t) for t in
+                               timings.get("transform_chunk_times", [])],
+        subtree_times=[float(t) for t in timings.get("subtree_times", [])],
+    )
+    return tree
+
+
+# ----------------------------------------------------------- wrapper indexes
+
+
+def save_index(index: "SofaIndex | MessiIndex | TreeIndex",
+               path: "str | Path") -> Path:
+    """Save any supported index (wrapper or bare tree) as a snapshot."""
+    if isinstance(index, TreeIndex):
+        return save_tree(index, path, index_type="tree")
+    for index_type, wrapper_cls in _WRAPPERS.items():
+        if isinstance(index, wrapper_cls):
+            if not index.is_built:
+                raise IndexError_("only a built index can be saved")
+            return save_tree(index.tree, path, index_type=index_type)
+    raise IndexError_(f"cannot snapshot object of type {type(index).__name__}")
+
+
+def load_index(path: "str | Path", mmap: bool = True,
+               expected_type: str | None = None):
+    """Load a snapshot into the index object it was saved from.
+
+    Returns a :class:`SofaIndex`, :class:`MessiIndex` or bare
+    :class:`TreeIndex` according to the manifest.  ``expected_type`` (one of
+    ``"sofa"``, ``"messi"``, ``"tree"``) makes mismatches a clear error —
+    used by ``SofaIndex.load`` / ``MessiIndex.load``.
+    """
+    manifest = read_manifest(path)
+    index_type = manifest.get("index_type", "tree")
+    if expected_type is not None and index_type != expected_type:
+        raise IndexError_(
+            f"snapshot {path} holds a '{index_type}' index, not "
+            f"'{expected_type}'; use the matching loader or repro.load_index"
+        )
+    tree = load_tree(path, mmap=mmap, manifest=manifest)
+    if index_type == "tree":
+        return tree
+    wrapper_cls = _WRAPPERS.get(index_type)
+    if wrapper_cls is None:
+        raise IndexError_(f"snapshot {path} holds unknown index_type '{index_type}'")
+    index = wrapper_cls.__new__(wrapper_cls)
+    index.summarization = tree.summarization
+    index.tree = tree
+    index._searcher = ExactSearcher(tree)
+    return index

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.errors import IndexError_
 from repro.core.series import Dataset
 from repro.index.search import ExactSearcher, SearchResult
 from repro.index.tree import TreeIndex
@@ -74,8 +75,35 @@ class SofaIndex:
 
     def _require_built(self) -> ExactSearcher:
         if self._searcher is None:
-            raise RuntimeError("SofaIndex.build must be called before querying")
+            raise IndexError_(
+                "SofaIndex has not been built; call build(dataset) or "
+                "SofaIndex.load(path) before querying"
+            )
         return self._searcher
+
+    def save(self, path) -> "SofaIndex":
+        """Write the built index as a versioned snapshot directory.
+
+        See :mod:`repro.index.persistence`.  Returns ``self`` so saving can be
+        chained after :meth:`build`.
+        """
+        from repro.index.persistence import save_index
+
+        self._require_built()
+        save_index(self, path)
+        return self
+
+    @classmethod
+    def load(cls, path, mmap: bool = True) -> "SofaIndex":
+        """Load a SOFA snapshot; ``mmap=True`` maps the data without copying.
+
+        The loaded index answers ``knn`` / ``knn_batch`` bit-identically to
+        the index that was saved.  Loading a snapshot of a different index
+        type raises :class:`~repro.core.errors.IndexError_`.
+        """
+        from repro.index.persistence import load_index
+
+        return load_index(path, mmap=mmap, expected_type="sofa")
 
     def knn(self, query: np.ndarray, k: int = 1) -> SearchResult:
         """Exact k nearest neighbours of ``query``."""

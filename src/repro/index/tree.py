@@ -292,6 +292,31 @@ class TreeIndex:
         return LeafNode(symbols=symbols, bits=bits, indices=indices.astype(np.int64),
                         words=words, lower=lower, upper=upper)
 
+    # ---------------------------------------------------------- persistence
+
+    def save(self, path) -> "TreeIndex":
+        """Write this built index as a versioned snapshot directory.
+
+        See :mod:`repro.index.persistence` for the on-disk layout.  Returns
+        ``self`` so saving can be chained after :meth:`build`.
+        """
+        from repro.index.persistence import save_tree
+
+        save_tree(self, path)
+        return self
+
+    @classmethod
+    def load(cls, path, mmap: bool = True) -> "TreeIndex":
+        """Load a snapshot back into a fully built tree.
+
+        ``mmap=True`` memory-maps the large payload arrays (values, words,
+        quantization intervals) read-only instead of copying them; loaded
+        trees answer queries bit-identically to freshly built ones.
+        """
+        from repro.index.persistence import load_tree
+
+        return load_tree(path, mmap=mmap)
+
     # ----------------------------------------------------------- inspection
 
     def leaves(self) -> list[LeafNode]:

@@ -104,6 +104,31 @@ class HierarchicalBins:
         return self._breakpoints is not None
 
     @property
+    def breakpoints(self) -> np.ndarray:
+        """The full-resolution breakpoint grid, shape ``(dims, cardinality - 1)``."""
+        self._require_fitted()
+        return self._breakpoints
+
+    @classmethod
+    def from_breakpoints(cls, bits: int, scheme: str,
+                         breakpoints: np.ndarray) -> "HierarchicalBins":
+        """Rebuild fitted bins from a previously learned breakpoint grid.
+
+        This is the deserialization path of the index persistence subsystem:
+        the grid saved by a snapshot is adopted verbatim, so symbol assignment
+        and intervals of the restored bins are bit-identical to the original.
+        """
+        bins = cls(bits=bits, scheme=scheme)
+        grid = np.ascontiguousarray(breakpoints, dtype=np.float64)
+        if grid.ndim != 2 or grid.shape[1] != bins.cardinality - 1:
+            raise InvalidParameterError(
+                f"expected a breakpoint grid of shape (dims, {bins.cardinality - 1}), "
+                f"got {grid.shape}"
+            )
+        bins._breakpoints = grid
+        return bins
+
+    @property
     def num_dimensions(self) -> int:
         self._require_fitted()
         return self._breakpoints.shape[0]

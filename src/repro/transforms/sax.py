@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.errors import InvalidParameterError
+from repro.core.errors import InvalidParameterError, NotFittedError
 from repro.transforms.base import SymbolicSummarization, _as_matrix
 from repro.transforms.paa import paa_segment_lengths, paa_transform, paa_transform_batch
 from repro.transforms.quantization import HierarchicalBins
@@ -65,6 +65,37 @@ class SAX(SymbolicSummarization):
         # weights of the squared mindist lower bound.
         self.weights = paa_segment_lengths(self.series_length, self.word_length)
         return self
+
+    # -------------------------------------------------------- serialization
+
+    def snapshot_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Fitted state as (JSON-safe config, plain arrays) for snapshots."""
+        if self.bins is None or self.weights is None:
+            raise NotFittedError("SAX must be fitted before it can be snapshotted")
+        config = {
+            "word_length": self.word_length,
+            "alphabet_size": self._alphabet_size,
+            "series_length": self.series_length,
+            "binning_scheme": self.bins.scheme,
+        }
+        arrays = {
+            "breakpoints": self.bins.breakpoints,
+            "weights": self.weights,
+        }
+        return config, arrays
+
+    @classmethod
+    def from_snapshot(cls, config: dict, arrays: dict) -> "SAX":
+        """Rebuild a fitted SAX instance from snapshot state."""
+        sax = cls(word_length=int(config["word_length"]),
+                  alphabet_size=int(config["alphabet_size"]))
+        sax.series_length = int(config["series_length"])
+        bits = int(np.log2(sax._alphabet_size))
+        sax.bins = HierarchicalBins.from_breakpoints(
+            bits=bits, scheme=config["binning_scheme"],
+            breakpoints=arrays["breakpoints"])
+        sax.weights = np.ascontiguousarray(arrays["weights"], dtype=np.float64)
+        return sax
 
     def transform(self, series: np.ndarray) -> np.ndarray:
         """Numeric summary of a series: its PAA means."""

@@ -148,6 +148,54 @@ class SFA(SymbolicSummarization):
         if self.selected_components is None or self.bins is None:
             raise NotFittedError("SFA must be fitted before use")
 
+    # -------------------------------------------------------- serialization
+
+    def snapshot_state(self) -> tuple[dict, dict[str, np.ndarray]]:
+        """Fitted state as (JSON-safe config, plain arrays) for snapshots."""
+        self._require_fitted()
+        config = {
+            "word_length": self.word_length,
+            "alphabet_size": self._alphabet_size,
+            "binning": self.binning,
+            "variance_selection": self.variance_selection,
+            "sample_fraction": self.sample_fraction,
+            "num_candidate_coefficients": self.num_candidate_coefficients,
+            "skip_dc": self.skip_dc,
+            "random_state": self.random_state,
+            "series_length": self.series_length,
+        }
+        arrays = {
+            "selected_components": self.selected_components,
+            "component_variances": self.component_variances,
+            "breakpoints": self.bins.breakpoints,
+            "weights": self.weights,
+        }
+        return config, arrays
+
+    @classmethod
+    def from_snapshot(cls, config: dict, arrays: dict) -> "SFA":
+        """Rebuild a fitted SFA instance (selection + MCB bins) from snapshot state."""
+        candidates = config.get("num_candidate_coefficients")
+        sfa = cls(word_length=int(config["word_length"]),
+                  alphabet_size=int(config["alphabet_size"]),
+                  binning=config["binning"],
+                  variance_selection=bool(config["variance_selection"]),
+                  sample_fraction=float(config["sample_fraction"]),
+                  num_candidate_coefficients=(None if candidates is None
+                                              else int(candidates)),
+                  skip_dc=bool(config["skip_dc"]),
+                  random_state=int(config["random_state"]))
+        sfa.series_length = int(config["series_length"])
+        sfa.selected_components = np.ascontiguousarray(
+            arrays["selected_components"], dtype=np.int64)
+        sfa.component_variances = np.ascontiguousarray(
+            arrays["component_variances"], dtype=np.float64)
+        bits = int(np.log2(sfa._alphabet_size))
+        sfa.bins = HierarchicalBins.from_breakpoints(
+            bits=bits, scheme=config["binning"], breakpoints=arrays["breakpoints"])
+        sfa.weights = np.ascontiguousarray(arrays["weights"], dtype=np.float64)
+        return sfa
+
     # ------------------------------------------------------------ transform
 
     def transform(self, series: np.ndarray) -> np.ndarray:

@@ -1,0 +1,64 @@
+"""Regenerate the golden index snapshot fixture.
+
+Run from the repository root:
+
+    PYTHONPATH=src python tests/data/generate_golden.py
+
+The fixture pins the on-disk snapshot format: ``golden-messi-v1/`` is a
+format-version-1 snapshot of a small MESSI index over deterministic
+random-walk data, and ``golden-messi-v1.expected.json`` records the queries
+and the exact k-NN answers the snapshot must keep producing.  MESSI (SAX with
+Gaussian breakpoints) is used because its build involves no FFT or sampling,
+so the checked-in arrays are reproducible bit-for-bit.
+
+Only regenerate the fixture when the snapshot format version is bumped — the
+whole point of the golden files is that older snapshots keep loading.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.synthetic import random_walk
+from repro.index.messi import MessiIndex
+
+DATA_DIR = Path(__file__).parent
+SNAPSHOT_DIR = DATA_DIR / "golden-messi-v1"
+EXPECTED_PATH = DATA_DIR / "golden-messi-v1.expected.json"
+
+NUM_SERIES = 24
+SERIES_LENGTH = 32
+NUM_QUERIES = 4
+K_VALUES = (1, 3, 5)
+
+
+def main() -> None:
+    data = random_walk(NUM_SERIES, SERIES_LENGTH, seed=20240214)
+    queries = random_walk(NUM_QUERIES, SERIES_LENGTH, seed=20240215)
+    index = MessiIndex(word_length=8, alphabet_size=16, leaf_size=5).build(data)
+
+    if SNAPSHOT_DIR.exists():
+        shutil.rmtree(SNAPSHOT_DIR)
+    index.save(SNAPSHOT_DIR)
+
+    expected = {"queries": queries.tolist(), "answers": {}}
+    for k in K_VALUES:
+        expected["answers"][str(k)] = [
+            {
+                "indices": result.indices.tolist(),
+                "distances": result.distances.tolist(),
+            }
+            for result in (index.knn(query, k=k) for query in queries)
+        ]
+    with open(EXPECTED_PATH, "w", encoding="utf-8") as handle:
+        json.dump(expected, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {SNAPSHOT_DIR} and {EXPECTED_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,9 +3,36 @@
 import numpy as np
 import pytest
 
+from repro.core.errors import IndexError_, ReproError
 from repro.index.messi import MessiIndex
 from repro.index.sofa import SofaIndex
 from repro.index.stats import compute_structure_stats
+
+
+class TestUnbuiltIndexErrors:
+    """Querying an unbuilt wrapper raises the typed library exception with a
+    message that names both recovery paths (build and load)."""
+
+    @pytest.mark.parametrize("index_cls", [MessiIndex, SofaIndex])
+    def test_every_query_method_raises_typed_error(self, index_cls):
+        index = index_cls()
+        expected = (f"{index_cls.__name__} has not been built; "
+                    f"call build\\(dataset\\) or {index_cls.__name__}\\.load\\(path\\)")
+        with pytest.raises(IndexError_, match=expected):
+            index.knn(np.zeros(8))
+        with pytest.raises(IndexError_, match=expected):
+            index.nearest_neighbor(np.zeros(8))
+        with pytest.raises(IndexError_, match=expected):
+            index.approximate_knn(np.zeros(8))
+        with pytest.raises(IndexError_, match=expected):
+            index.knn_batch(np.zeros((2, 8)))
+        with pytest.raises(IndexError_, match=expected):
+            index.save("/tmp/never-written")
+
+    @pytest.mark.parametrize("index_cls", [MessiIndex, SofaIndex])
+    def test_typed_error_is_catchable_as_library_error(self, index_cls):
+        with pytest.raises(ReproError):
+            index_cls().knn(np.zeros(8))
 
 
 class TestMessiIndex:

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.baselines.serial_scan import SerialScan
-from repro.core.errors import SearchError
+from repro.core.errors import IndexError_, SearchError
 from repro.index.messi import MessiIndex
 from repro.index.search import ExactSearcher, _KnnHeap
 from repro.index.sofa import SofaIndex
@@ -57,9 +57,11 @@ class TestSearcherValidation:
             index.knn(np.zeros(index_set.series_length + 1))
 
     def test_query_before_build_raises(self):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(IndexError_, match=r"MessiIndex has not been built; "
+                                              r"call build\(dataset\) or MessiIndex\.load"):
             MessiIndex().knn(np.zeros(8))
-        with pytest.raises(RuntimeError):
+        with pytest.raises(IndexError_, match=r"SofaIndex has not been built; "
+                                              r"call build\(dataset\) or SofaIndex\.load"):
             SofaIndex().knn(np.zeros(8))
 
 

@@ -127,6 +127,100 @@ class TestLowerBounds:
             tree.leaf_lower_bounds(np.zeros(16))
 
 
+class TestDirectoryHelpers:
+    """Edge cases of the PR-1 helpers: series_directory, leaf_position,
+    approximate_leaf — on degenerate tree shapes."""
+
+    @pytest.fixture()
+    def single_leaf_tree(self):
+        """All-positive, unnormalized values share the top SAX bit, so every
+        series lands in one root child and (with a large leaf budget) one leaf."""
+        values = np.abs(np.random.default_rng(11).normal(5.0, 0.5, size=(30, 32))) + 1.0
+        dataset = Dataset(values, name="positive", normalize=False)
+        return _build_tree(dataset, leaf_size=100,
+                           summarization=SAX(word_length=4, alphabet_size=4)), dataset
+
+    def test_single_leaf_tree_directory(self, single_leaf_tree):
+        tree, dataset = single_leaf_tree
+        assert len(tree.leaf_nodes) == 1
+        lower, upper, rows, offsets, sizes = tree.series_directory()
+        assert lower.shape == (dataset.num_series, 4)
+        assert upper.shape == (dataset.num_series, 4)
+        assert np.array_equal(np.sort(rows), np.arange(dataset.num_series))
+        assert offsets.tolist() == [0]
+        assert sizes.tolist() == [dataset.num_series]
+        assert tree.leaf_position(tree.leaf_nodes[0]) == 0
+
+    def test_single_leaf_approximate_descent(self, single_leaf_tree):
+        tree, dataset = single_leaf_tree
+        the_leaf = tree.leaf_nodes[0]
+        summarization = tree.summarization
+        # A query inside the populated root child descends to the only leaf.
+        inside = dataset.values[0]
+        summary = summarization.transform(inside)
+        assert tree.approximate_leaf(summarization.bins.symbols(summary),
+                                     summary) is the_leaf
+        # A query whose 1-bit prefix has no root child falls back to the
+        # smallest-lower-bound leaf — still the only one.
+        outside = -dataset.values[0]
+        summary = summarization.transform(outside)
+        assert tree.approximate_leaf(summarization.bins.symbols(summary),
+                                     summary) is the_leaf
+
+    def test_leaf_size_one_tree(self, walk_dataset):
+        tree = _build_tree(walk_dataset, leaf_size=1)
+        lower, upper, rows, offsets, sizes = tree.series_directory()
+        assert rows.shape[0] == walk_dataset.num_series
+        assert np.array_equal(offsets, np.concatenate([[0], np.cumsum(sizes[:-1])]))
+        for position, leaf in enumerate(tree.leaf_nodes):
+            assert tree.leaf_position(leaf) == position
+            start = int(offsets[position])
+            assert np.array_equal(rows[start:start + int(sizes[position])],
+                                  leaf.indices)
+        # Every query word descends to a leaf whose region contains it.
+        summarization = tree.summarization
+        for query in walk_dataset.values[:10]:
+            summary = summarization.transform(query)
+            leaf = tree.approximate_leaf(summarization.bins.symbols(summary), summary)
+            assert leaf is not None
+            assert tree.leaf_position(leaf) >= 0
+
+    def test_leaf_position_rejects_foreign_leaf(self, walk_dataset):
+        tree = _build_tree(walk_dataset, leaf_size=10)
+        other = _build_tree(walk_dataset, leaf_size=10)
+        with pytest.raises(IndexError_, match="does not belong"):
+            tree.leaf_position(other.leaf_nodes[0])
+
+    def test_series_directory_requires_build(self):
+        with pytest.raises(IndexError_):
+            TreeIndex(SAX()).series_directory()
+
+    def test_dataset_below_sfa_sample_floor(self):
+        """Three series: the MCB sample floor (2) exceeds the 1 % fraction."""
+        from repro.index.sofa import SofaIndex
+
+        values = np.random.default_rng(23).normal(size=(3, 64))
+        index = SofaIndex(word_length=8, alphabet_size=16, leaf_size=2,
+                          sample_fraction=0.01).build(values)
+        tree = index.tree
+        lower, upper, rows, offsets, sizes = tree.series_directory()
+        assert rows.shape[0] == 3
+        assert int(sizes.sum()) == 3
+        for leaf in tree.leaf_nodes:
+            assert tree.leaf_position(leaf) in range(len(tree.leaf_nodes))
+        summarization = tree.summarization
+        query = values[1]
+        normalized = (query - query.mean()) / query.std()
+        summary = summarization.transform(normalized)
+        leaf = tree.approximate_leaf(summarization.bins.symbols(summary), summary)
+        assert leaf is not None
+        # The exact engine still answers correctly over the tiny collection.
+        result = index.knn(query, k=3)
+        assert result.nearest_index == 1
+        assert result.nearest_distance == pytest.approx(0.0, abs=1e-9)
+        assert sorted(result.indices.tolist()) == [0, 1, 2]
+
+
 class TestTimings:
     def test_build_timings_are_recorded(self, walk_dataset):
         tree = _build_tree(walk_dataset, leaf_size=10)
