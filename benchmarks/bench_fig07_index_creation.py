@@ -14,6 +14,7 @@ import numpy as np
 from common import CORE_COUNTS, report
 
 from repro.evaluation.reporting import format_table
+from repro.parallel.simulator import assert_single_worker_replay
 
 
 def test_fig07_index_creation(workload_1nn, benchmark_suite, workload_runner, benchmark):
@@ -43,5 +44,19 @@ def test_fig07_index_creation(workload_1nn, benchmark_suite, workload_runner, be
     for cores in CORE_COUNTS:
         assert total("SOFA", cores) >= total("MESSI", cores) * 0.8
 
+    # Sanity anchor of the replay: at one worker the simulated makespan (sum
+    # of the recorded per-item costs plus the serial learning phase) must
+    # match the measured build wall clock, otherwise every simulated core
+    # count above inherits the drift.
     index_set = benchmark_suite["ETHZ"][0]
+    anchor = workload_runner.make_method("SOFA").build(index_set, num_workers=1)
+    timings = anchor.timings
+    simulated = assert_single_worker_replay(
+        list(timings.transform_chunk_times) + list(timings.subtree_times),
+        serial_time=timings.learn_time, wall_time=timings.wall_time)
+    report("Figure 7 — 1-worker replay anchor (ETHZ, SOFA)",
+           format_table(["simulated 1-worker (ms)", "measured wall (ms)"],
+                        [[1000.0 * simulated, 1000.0 * timings.wall_time]],
+                        float_format="{:.2f}"))
+
     benchmark(lambda: workload_runner.make_method("SOFA").build(index_set))

@@ -2,11 +2,17 @@
 
 Not a paper table: this benchmark guards the warm-start promise of
 :mod:`repro.index.persistence`.  A process that opens a saved snapshot with
-``load(path, mmap=True)`` must reach a query-ready index at least 10x faster
+``load(path, mmap=True)`` must reach a query-ready index at least 3x faster
 than rebuilding the same index from the raw series (asserted at the default
 benchmark scale of 4000 series; reduced smoke runs use a looser regression
 bound) — and the loaded index must answer queries bit-identically to the
 built one, which is asserted at every scale.
+
+The required ratio tracks the build pipeline it is measured against: the gate
+was 10x against the seed recursive build (measured 17-27x), and was
+recalibrated when the vectorized parallel build (PR 3) made the rebuild
+itself several times faster (measured after: 4.7-5.6x, with the warm load's
+absolute cost unchanged).
 """
 
 from __future__ import annotations
@@ -32,8 +38,9 @@ NUM_QUERIES = 8
 BUILD_REPEATS = 3
 LOAD_REPEATS = 7
 
-#: Required rebuild/warm-load time ratio at the full benchmark scale.
-FULL_SCALE_SPEEDUP = 10.0
+#: Required rebuild/warm-load time ratio at the full benchmark scale
+#: (measured against the vectorized build path; see the module docstring).
+FULL_SCALE_SPEEDUP = 3.0
 #: Scale at which the full speedup requirement applies (smaller smoke runs
 #: only guard against outright regressions).
 FULL_SCALE_SERIES = 4000
@@ -64,9 +71,14 @@ def test_persistence_warm_load(benchmark):
             index_set, queries = dataset.split(NUM_QUERIES,
                                                rng=np.random.default_rng(offset))
             for label, index_cls in INDEXES.items():
-                index = index_cls(leaf_size=bench_leaf_size()).build(index_set)
+                # The rebuild baseline is pinned to one worker — the
+                # configuration the speedup gate was calibrated against —
+                # so an ambient REPRO_NUM_WORKERS cannot shift the ratio.
+                index = index_cls(leaf_size=bench_leaf_size()).build(
+                    index_set, num_workers=1)
                 build_seconds = _median_seconds(
-                    lambda: index_cls(leaf_size=bench_leaf_size()).build(index_set),
+                    lambda: index_cls(leaf_size=bench_leaf_size()).build(
+                        index_set, num_workers=1),
                     BUILD_REPEATS)
 
                 path = scratch / f"{name}-{label}"

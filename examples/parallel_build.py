@@ -1,0 +1,79 @@
+"""Parallel two-stage index construction with the vectorized build pipeline.
+
+The paper's construction pipeline (Figure 5) has two parallel stages — chunked
+summarization and embarrassingly-parallel per-root-subtree growth — and the
+reproduction's `build` actually exploits them:
+
+1. the default *vectorized* builder grows each subtree a whole frontier of
+   nodes per pass instead of recursing node by node (several times faster than
+   the seed recursive builder on one worker already),
+2. ``num_workers`` maps both stages over a thread pool (the NumPy kernels
+   release the GIL), dispatching subtrees largest-first,
+3. the built index is **bit-identical** for every builder and worker count —
+   same tree, same snapshots, same ``knn`` / ``knn_batch`` answers.
+
+Run with::
+
+    python examples/parallel_build.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import SofaIndex, load_dataset, split_queries
+
+
+def timed_build(label: str, **build_kwargs) -> SofaIndex:
+    index = SofaIndex(word_length=16, alphabet_size=256, leaf_size=100,
+                      builder=build_kwargs.pop("builder", "vectorized"))
+    start = time.perf_counter()
+    index.build(**build_kwargs)
+    elapsed = time.perf_counter() - start
+    timings = index.timings
+    print(f"{label:<28} {1000 * elapsed:7.1f} ms wall "
+          f"(learn {1000 * timings.learn_time:.1f} ms, "
+          f"transform {1000 * timings.transform_time:.1f} ms, "
+          f"tree {1000 * timings.tree_time:.1f} ms)")
+    return index
+
+
+def main() -> None:
+    dataset = load_dataset("LenDB", num_series=4000, seed=7)
+    index_set, queries = split_queries(dataset, num_queries=16)
+    print(f"building over {index_set.num_series} series x "
+          f"{index_set.series_length} points\n")
+
+    # The seed recursive builder (kept as the reference implementation).
+    seed = timed_build("recursive builder, 1 worker", dataset=index_set,
+                       builder="recursive", num_workers=1)
+    # The vectorized frontier builder — the default.
+    vectorized = timed_build("vectorized builder, 1 worker", dataset=index_set,
+                             num_workers=1)
+    # Both construction stages on a 4-thread pool.  (On a single hardware
+    # core this only adds dispatch overhead; on a multi-core machine the
+    # GIL-releasing kernels overlap.)
+    parallel = timed_build("vectorized builder, 4 workers", dataset=index_set,
+                           num_workers=4)
+
+    # --- bit-identity: every build answers exactly the same -----------------
+    batch = queries.values
+    expected = seed.knn_batch(batch, k=5, num_workers=1)
+    for other in (vectorized, parallel):
+        for left, right in zip(expected, other.knn_batch(batch, k=5)):
+            assert np.array_equal(left.indices, right.indices)
+            assert np.array_equal(left.distances, right.distances)
+    print("\nall three builds answer 16 x 5-NN queries bit-identically")
+
+    # The recorded per-item costs still drive the virtual-core simulator
+    # (Figure 7); the measured wall clock now rides along.
+    timings = parallel.timings
+    print(f"recorded work items: {len(timings.transform_chunk_times)} transform "
+          f"chunks, {len(timings.subtree_times)} subtrees; "
+          f"wall {1000 * timings.wall_time:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -117,13 +117,21 @@ class WorkloadRunner:
     # --------------------------------------------------------- method setup
 
     def make_method(self, method: str):
-        """Instantiate one of the four competitors with the runner's parameters."""
+        """Instantiate one of the four competitors with the runner's parameters.
+
+        The tree indexes are pinned to one build worker: the runner's job is
+        to measure *single-threaded* per-task costs for the virtual-core
+        replay, and per-item timings taken inside concurrent worker threads
+        would include contention wait, inflating every simulated core count.
+        """
         if method == "SOFA":
+            # An explicit num_workers in sofa_kwargs wins over the pin.
+            sofa_kwargs = {"num_workers": 1, **self.sofa_kwargs}
             return SofaIndex(word_length=self.word_length, alphabet_size=self.alphabet_size,
-                             leaf_size=self.leaf_size, **self.sofa_kwargs)
+                             leaf_size=self.leaf_size, **sofa_kwargs)
         if method == "MESSI":
             return MessiIndex(word_length=self.word_length, alphabet_size=self.alphabet_size,
-                              leaf_size=self.leaf_size)
+                              leaf_size=self.leaf_size, num_workers=1)
         if method == "FAISS":
             return FlatL2Index(batch_size=max(self.core_counts))
         if method == "UCR-SUITE":

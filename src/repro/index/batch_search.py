@@ -216,6 +216,11 @@ class BatchSearcher:
         self.flat_refinement_threshold = flat_refinement_threshold
         self.group_target = group_target if group_target is not None else max(index.leaf_size, 64)
         self.flat_block_size = flat_block_size
+        # Hoisted out of the per-shard / per-round paths; re-captured once
+        # per batch in case the tree was rebuilt in place (fit assigns fresh
+        # weight arrays).
+        self._summarization = index.summarization
+        self._weights = index.summarization.weights
 
     # ------------------------------------------------------------- public
 
@@ -243,6 +248,9 @@ class BatchSearcher:
         num_queries = queries.shape[0]
         if num_queries == 0:
             return []
+        self._summarization = self.index.summarization
+        if self._summarization.weights is not self._weights:
+            self._weights = self._summarization.weights
         # Shard for workers, and in any case keep each pass's dense
         # query x series state under the _MAX_SHARD_CELLS budget.
         cell_cap = max(1, _MAX_SHARD_CELLS // max(1, self.index.num_series))
@@ -263,7 +271,7 @@ class BatchSearcher:
         if self.normalize_queries:
             queries = znormalize_batch(queries)
         num_queries = queries.shape[0]
-        summaries = self.index.summarization.transform_batch(queries)
+        summaries = self._summarization.transform_batch(queries)
         stats = [SearchStats(num_series=self.index.num_series) for _ in range(num_queries)]
         frontier = _QueryFrontier(num_queries, k)
 
@@ -286,7 +294,7 @@ class BatchSearcher:
         num_queries = queries.shape[0]
         series_lower, series_upper, series_rows, leaf_offsets, leaf_sizes = (
             index.series_directory())
-        weights = index.summarization.weights
+        weights = self._weights
 
         visited = np.zeros(num_queries, dtype=np.int64)
         checked = np.zeros(num_queries, dtype=np.int64)

@@ -48,19 +48,37 @@ def fill_buffers(words: np.ndarray, bits: int) -> list[SummaryBuffer]:
     if words.ndim != 2:
         raise ValueError(f"expected a 2-D word matrix, got shape {words.shape}")
     top_bits = words >> (bits - 1)
-    # Encode each 1-bit prefix row as a single integer key for fast grouping.
-    packed = np.zeros(words.shape[0], dtype=np.int64)
-    for dimension in range(words.shape[1]):
-        packed = (packed << 1) | top_bits[:, dimension]
-    order = np.argsort(packed, kind="stable")
-    sorted_keys = packed[order]
-    boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
-    groups = np.split(order, boundaries)
+    if words.shape[1] <= 63:
+        # Encode each 1-bit prefix row as a single integer key for fast grouping.
+        packed = np.zeros(words.shape[0], dtype=np.int64)
+        for dimension in range(words.shape[1]):
+            packed = (packed << 1) | top_bits[:, dimension]
+        order = np.argsort(packed, kind="stable")
+        sorted_keys = packed[order]
+        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+    else:
+        # One bit per dimension no longer fits an int64 (the top bit would be
+        # shifted out, silently merging distinct prefixes): pack the prefix
+        # bits into bytes and group on an opaque fixed-width bytes view, whose
+        # lexicographic order equals the numeric order of the packed integer.
+        packed_bytes = np.ascontiguousarray(
+            np.packbits(top_bits.astype(np.uint8), axis=1))
+        row_keys = packed_bytes.view(
+            np.dtype((np.void, packed_bytes.shape[1]))).reshape(-1)
+        order = np.argsort(row_keys, kind="stable")
+        sorted_keys = row_keys[order]
+        boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
 
-    buffers = []
-    for group in groups:
-        key = tuple(int(bit) for bit in top_bits[group[0]])
-        buffers.append(SummaryBuffer(key=key, indices=group.astype(np.int64),
-                                     words=words[group]))
+    # Hand every buffer zero-copy views of the words/indices sorted once:
+    # degenerate collections produce thousands of tiny buffers, and one gather
+    # per buffer used to dominate the grouping cost.
+    order = order.astype(np.int64, copy=False)
+    sorted_words = words[order]
+    starts = np.concatenate([[0], boundaries]).astype(np.int64)
+    stops = np.concatenate([boundaries, [order.shape[0]]]).astype(np.int64)
+    keys = top_bits[order[starts]].tolist()
+    buffers = [SummaryBuffer(key=tuple(key), indices=order[start:stop],
+                             words=sorted_words[start:stop])
+               for key, start, stop in zip(keys, starts.tolist(), stops.tolist())]
     buffers.sort(key=lambda buffer: buffer.size, reverse=True)
     return buffers

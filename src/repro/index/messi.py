@@ -29,20 +29,36 @@ class MessiIndex:
         Maximum series per leaf before splitting.
     split_policy:
         Node-splitting heuristic, see :class:`~repro.index.tree.TreeIndex`.
+    num_workers:
+        Worker threads used by both construction stages (``None`` = the
+        ``REPRO_NUM_WORKERS`` process default); the built index is
+        bit-identical for every worker count.
+    builder:
+        Subtree builder, see :class:`~repro.index.tree.TreeIndex`
+        (``"vectorized"`` default, ``"recursive"`` reference).
     """
 
     summarization_name = "SAX"
 
     def __init__(self, word_length: int = 16, alphabet_size: int = 256,
-                 leaf_size: int = 100, split_policy: str = "balanced") -> None:
+                 leaf_size: int = 100, split_policy: str = "balanced",
+                 num_workers: "int | None" = None,
+                 builder: str = "vectorized") -> None:
         self.summarization = SAX(word_length=word_length, alphabet_size=alphabet_size)
         self.tree = TreeIndex(self.summarization, leaf_size=leaf_size,
-                              split_policy=split_policy)
+                              split_policy=split_policy, num_workers=num_workers,
+                              builder=builder)
         self._searcher: ExactSearcher | None = None
 
-    def build(self, dataset: "Dataset | np.ndarray") -> "MessiIndex":
-        """Build the index over a dataset (fits iSAX and grows the tree)."""
-        self.tree.build(dataset if isinstance(dataset, Dataset) else Dataset(dataset))
+    def build(self, dataset: "Dataset | np.ndarray",
+              num_workers: "int | None" = None) -> "MessiIndex":
+        """Build the index over a dataset (fits iSAX and grows the tree).
+
+        ``num_workers`` overrides the constructor's worker count for this
+        build only; answers are bit-identical for every worker count.
+        """
+        self.tree.build(dataset if isinstance(dataset, Dataset) else Dataset(dataset),
+                        num_workers=num_workers)
         self._searcher = ExactSearcher(self.tree)
         return self
 

@@ -219,6 +219,7 @@ def save_tree(tree: TreeIndex, path: "str | Path",
             "learn_time": tree.timings.learn_time,
             "transform_chunk_times": list(tree.timings.transform_chunk_times),
             "subtree_times": list(tree.timings.subtree_times),
+            "wall_time": tree.timings.wall_time,
         },
         "arrays": sorted(arrays),
     }
@@ -431,6 +432,7 @@ def load_tree(path: "str | Path", mmap: bool = True,
         transform_chunk_times=[float(t) for t in
                                timings.get("transform_chunk_times", [])],
         subtree_times=[float(t) for t in timings.get("subtree_times", [])],
+        wall_time=float(timings.get("wall_time", 0.0)),
     )
     return tree
 

@@ -178,6 +178,21 @@ class ExactSearcher:
             self.DEFAULT_FLAT_REFINEMENT_THRESHOLD
             if flat_refinement_threshold is None else flat_refinement_threshold)
         self._batch_searcher = None
+        # Hoisted out of the per-leaf refinement loops: the summarization's
+        # bins and lower-bound weights are fixed for a given build, and the
+        # chained attribute lookups showed up when profiling refinement
+        # rounds over many small leaves.  `_refresh_summarization_cache`
+        # re-captures them once per query in case the tree was rebuilt in
+        # place (fit assigns fresh bins/weights objects).
+        self._bins = index.summarization.bins
+        self._weights = index.summarization.weights
+
+    def _refresh_summarization_cache(self) -> None:
+        summarization = self.index.summarization
+        if summarization.bins is not self._bins:
+            self._bins = summarization.bins
+        if summarization.weights is not self._weights:
+            self._weights = summarization.weights
 
     # ------------------------------------------------------------- public
 
@@ -197,9 +212,10 @@ class ExactSearcher:
         if self.normalize_queries:
             query = znormalize(query)
 
+        self._refresh_summarization_cache()
         summarization = self.index.summarization
         query_summary = summarization.transform(query)
-        query_word = summarization.bins.symbols(query_summary)
+        query_word = self._bins.symbols(query_summary)
 
         stats = SearchStats(num_series=self.index.num_series)
         heap = _KnnHeap(k)
@@ -425,8 +441,7 @@ class ExactSearcher:
         lower = np.vstack([leaf.lower for leaf in group])
         upper = np.vstack([leaf.upper for leaf in group])
         indices = np.concatenate([leaf.indices for leaf in group])
-        series_bounds = batch_lower_bound(query_summary, lower, upper,
-                                          self.index.summarization.weights)
+        series_bounds = batch_lower_bound(query_summary, lower, upper, self._weights)
         stats.series_lower_bounds += indices.shape[0]
         candidates = np.flatnonzero(series_bounds < threshold)
         if candidates.size:
@@ -460,7 +475,8 @@ class ExactSearcher:
         stats.leaves_visited += 1
         threshold = heap.threshold
 
-        series_bounds = self.index.series_lower_bounds(query_summary, leaf)
+        series_bounds = batch_lower_bound(query_summary, leaf.lower, leaf.upper,
+                                          self._weights)
         stats.series_lower_bounds += leaf.size
         candidates = np.flatnonzero(series_bounds < threshold)
         if candidates.size:

@@ -41,6 +41,13 @@ class SofaIndex:
         instead of taking the first components.
     sample_fraction:
         Fraction of the data used by MCB to learn bins (1 % in the paper).
+    num_workers:
+        Worker threads used by both construction stages (``None`` = the
+        ``REPRO_NUM_WORKERS`` process default); the built index is
+        bit-identical for every worker count.
+    builder:
+        Subtree builder, see :class:`~repro.index.tree.TreeIndex`
+        (``"vectorized"`` default, ``"recursive"`` reference).
     """
 
     summarization_name = "SFA"
@@ -49,7 +56,9 @@ class SofaIndex:
                  leaf_size: int = 100, binning: str = "equi-width",
                  variance_selection: bool = True, sample_fraction: float = 0.01,
                  num_candidate_coefficients: int | None = 16,
-                 split_policy: str = "balanced", random_state: int = 0) -> None:
+                 split_policy: str = "balanced", random_state: int = 0,
+                 num_workers: "int | None" = None,
+                 builder: str = "vectorized") -> None:
         self.summarization = SFA(
             word_length=word_length,
             alphabet_size=alphabet_size,
@@ -60,12 +69,19 @@ class SofaIndex:
             random_state=random_state,
         )
         self.tree = TreeIndex(self.summarization, leaf_size=leaf_size,
-                              split_policy=split_policy)
+                              split_policy=split_policy, num_workers=num_workers,
+                              builder=builder)
         self._searcher: ExactSearcher | None = None
 
-    def build(self, dataset: "Dataset | np.ndarray") -> "SofaIndex":
-        """Build the index: learn SFA (MCB), summarize all series, grow the tree."""
-        self.tree.build(dataset if isinstance(dataset, Dataset) else Dataset(dataset))
+    def build(self, dataset: "Dataset | np.ndarray",
+              num_workers: "int | None" = None) -> "SofaIndex":
+        """Build the index: learn SFA (MCB), summarize all series, grow the tree.
+
+        ``num_workers`` overrides the constructor's worker count for this
+        build only; answers are bit-identical for every worker count.
+        """
+        self.tree.build(dataset if isinstance(dataset, Dataset) else Dataset(dataset),
+                        num_workers=num_workers)
         self._searcher = ExactSearcher(self.tree)
         return self
 

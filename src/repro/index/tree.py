@@ -8,16 +8,27 @@ The only differences are which summarization produces the words and which
 per-dimension weights enter the lower bound — both are encapsulated in the
 :class:`~repro.transforms.base.SymbolicSummarization` passed to the tree.
 
-Construction follows the paper's two index stages (Figure 5):
+Construction follows the paper's two index stages (Figure 5), and actually
+exploits their parallel structure:
 
-1. summarize every series into full-resolution words (parallelisable in
-   chunks), group them into per-root-child buffers;
-2. build each root subtree independently from its buffer (parallelisable per
-   subtree), splitting any node that exceeds ``leaf_size`` by appending one bit
-   to the dimension that balances the two children best.
+1. summarize every series into full-resolution words — the chunks are mapped
+   over a :class:`~repro.parallel.pool.WorkerPool` (the FFT / ``searchsorted``
+   kernels release the GIL) and grouped into per-root-child buffers;
+2. build each root subtree independently from its buffer — one pool work item
+   per root child, dispatched largest-buffer-first (the simulator's greedy
+   schedule), splitting any node that exceeds ``leaf_size`` by appending one
+   bit to the dimension that balances the two children best.  The default
+   ``"vectorized"`` builder grows each subtree a whole *frontier* of nodes per
+   pass (vectorized bit extraction, split scoring and stable partitioning)
+   instead of recursing node by node; the seed ``"recursive"`` builder is kept
+   as the reference implementation.
 
-Timings of both stages are recorded per work item so the virtual-core
-simulator can replay them for any number of workers (Figure 7).
+The built tree is bit-identical for every ``num_workers`` and for both
+builders: same shape, same leaf payloads, same directory arrays, same
+query answers.  Timings of both stages are still recorded per work item so
+the virtual-core simulator can replay them for any number of workers
+(Figure 7), and ``BuildTimings.wall_time`` records the measured elapsed
+parallel wall clock alongside the per-item costs.
 """
 
 from __future__ import annotations
@@ -32,10 +43,16 @@ from repro.core.series import Dataset
 from repro.core.simd import batch_lower_bound, batch_lower_bound_multi
 from repro.index.buffers import SummaryBuffer, fill_buffers
 from repro.index.node import InnerNode, LeafNode, Node, root_child_word
+from repro.parallel.pool import WorkerPool, resolve_num_workers
 from repro.transforms.base import SymbolicSummarization
 
 #: Node-splitting policies supported by the tree.
 SPLIT_POLICIES = ("balanced", "round-robin")
+
+#: Subtree builders: the vectorized frontier splitter (default) and the seed
+#: recursive reference implementation (kept for regression benchmarks and
+#: bit-identity tests).
+BUILDERS = ("vectorized", "recursive")
 
 
 @dataclass
@@ -45,6 +62,10 @@ class BuildTimings:
     learn_time: float = 0.0
     transform_chunk_times: list[float] = field(default_factory=list)
     subtree_times: list[float] = field(default_factory=list)
+    #: Measured elapsed wall clock of the whole build.  With one worker this
+    #: tracks ``total_time`` (the sum of per-item costs); with several workers
+    #: it is the parallel makespan the virtual-core simulator estimates.
+    wall_time: float = 0.0
 
     @property
     def transform_time(self) -> float:
@@ -76,11 +97,23 @@ class TreeIndex:
         through dimensions in order.
     transform_chunks:
         Number of chunks the summarization stage is divided into; each chunk is
-        one work item for the virtual-core simulator.
+        one work item for the virtual-core simulator and the worker pool.
+    num_workers:
+        Worker threads used by both construction stages.  ``None`` (the
+        default) falls back to the process default
+        (:func:`repro.parallel.pool.default_num_workers`, settable through the
+        ``REPRO_NUM_WORKERS`` environment variable).  The built index is
+        bit-identical for every worker count.
+    builder:
+        ``"vectorized"`` (default) grows subtrees frontier-at-a-time with
+        vectorized splitting; ``"recursive"`` is the seed per-node reference
+        builder.  Both produce bit-identical trees.
     """
 
     def __init__(self, summarization: SymbolicSummarization, leaf_size: int = 100,
-                 split_policy: str = "balanced", transform_chunks: int = 36) -> None:
+                 split_policy: str = "balanced", transform_chunks: int = 36,
+                 num_workers: "int | None" = None,
+                 builder: str = "vectorized") -> None:
         if leaf_size < 1:
             raise InvalidParameterError(f"leaf_size must be >= 1, got {leaf_size}")
         if split_policy not in SPLIT_POLICIES:
@@ -89,10 +122,20 @@ class TreeIndex:
             )
         if transform_chunks < 1:
             raise InvalidParameterError("transform_chunks must be >= 1")
+        if num_workers is not None and num_workers < 1:
+            raise InvalidParameterError(
+                f"num_workers must be >= 1 or None, got {num_workers}"
+            )
+        if builder not in BUILDERS:
+            raise InvalidParameterError(
+                f"builder must be one of {BUILDERS}, got '{builder}'"
+            )
         self.summarization = summarization
         self.leaf_size = leaf_size
         self.split_policy = split_policy
         self.transform_chunks = transform_chunks
+        self.num_workers = num_workers
+        self.builder = builder
 
         self.dataset: Dataset | None = None
         self.root_children: dict[tuple[int, ...], Node] = {}
@@ -123,28 +166,52 @@ class TreeIndex:
             raise IndexError_("index has not been built yet")
         return self.dataset.num_series
 
-    def build(self, dataset: Dataset) -> "TreeIndex":
-        """Fit the summarization, summarize all series and grow the tree."""
+    def build(self, dataset: Dataset,
+              num_workers: "int | None" = None) -> "TreeIndex":
+        """Fit the summarization, summarize all series and grow the tree.
+
+        ``num_workers`` overrides the constructor's worker count for this
+        build only (``None`` keeps it).  The built index — tree shape, leaf
+        payloads, directory arrays, query answers — is bit-identical for
+        every worker count.
+        """
         if not isinstance(dataset, Dataset):
             dataset = Dataset(np.asarray(dataset, dtype=np.float64))
         self.dataset = dataset
+        workers = resolve_num_workers(
+            self.num_workers if num_workers is None else num_workers)
+        pool = WorkerPool(workers)
         timings = BuildTimings()
+        wall_start = time.perf_counter()
 
         start = time.perf_counter()
         self.summarization.fit(dataset)
         timings.learn_time = time.perf_counter() - start
 
-        words = self._summarize_in_chunks(dataset, timings)
+        words = self._summarize_in_chunks(dataset, timings, pool)
         self._words = words
 
         buffers = fill_buffers(words, self.summarization.bits)
+        build_subtree = (self._build_subtree if self.builder == "recursive"
+                         else self._build_subtree_bulk)
+
+        def timed_subtree(buffer: SummaryBuffer) -> tuple[Node, float]:
+            subtree_start = time.perf_counter()
+            subtree = build_subtree(buffer)
+            return subtree, time.perf_counter() - subtree_start
+
+        # One work item per root child.  ``fill_buffers`` orders the buffers
+        # largest first, so FIFO pickup by the pool's workers realizes the
+        # greedy longest-processing-time-first schedule the virtual-core
+        # simulator replays; results are reassembled in buffer order, so the
+        # root-children dict (and every downstream array) is deterministic.
+        subtrees = pool.map(timed_subtree, buffers)
         self.root_children = {}
-        for buffer in buffers:
-            start = time.perf_counter()
-            subtree = self._build_subtree(buffer)
-            timings.subtree_times.append(time.perf_counter() - start)
+        for buffer, (subtree, elapsed) in zip(buffers, subtrees):
+            timings.subtree_times.append(elapsed)
             self.root_children[buffer.key] = subtree
         self._build_leaf_directory()
+        timings.wall_time = time.perf_counter() - wall_start
         self.timings = timings
         return self
 
@@ -156,23 +223,50 @@ class TreeIndex:
         searcher when the tree degenerates into very small leaves.
         """
         self.leaf_nodes = self.leaves()
-        lower_rows = []
-        upper_rows = []
-        for leaf in self.leaf_nodes:
-            lower, upper = self.summarization.bins.intervals(leaf.symbols, leaf.bits)
-            lower_rows.append(lower)
-            upper_rows.append(upper)
-        self._leaf_lower = np.vstack(lower_rows)
-        self._leaf_upper = np.vstack(upper_rows)
         self._leaf_positions = {id(leaf): position
                                 for position, leaf in enumerate(self.leaf_nodes)}
         self._leaf_sizes = np.array([leaf.size for leaf in self.leaf_nodes],
                                     dtype=np.int64)
         self._leaf_offsets = np.concatenate(
             [[0], np.cumsum(self._leaf_sizes[:-1])]).astype(np.int64)
-        self._series_lower = np.vstack([leaf.lower for leaf in self.leaf_nodes])
-        self._series_upper = np.vstack([leaf.upper for leaf in self.leaf_nodes])
         self._series_rows = np.concatenate([leaf.indices for leaf in self.leaf_nodes])
+        if self.builder == "recursive":
+            # Seed reference path: one node-level intervals call per leaf,
+            # per-series intervals already computed per leaf by `_make_leaf`.
+            lower_rows = []
+            upper_rows = []
+            for leaf in self.leaf_nodes:
+                lower, upper = self.summarization.bins.intervals(leaf.symbols,
+                                                                 leaf.bits)
+                lower_rows.append(lower)
+                upper_rows.append(upper)
+            self._leaf_lower = np.vstack(lower_rows)
+            self._leaf_upper = np.vstack(upper_rows)
+            self._series_lower = np.vstack([leaf.lower for leaf in self.leaf_nodes])
+            self._series_upper = np.vstack([leaf.upper for leaf in self.leaf_nodes])
+            return
+        # Vectorized path.  Every leaf sits at its own refinement, so the
+        # node-level intervals of all leaves come from one batched call over
+        # the stacked (symbols, bits) matrices — bit-identical to the
+        # per-leaf loop of the reference path.
+        node_symbols = np.vstack([leaf.symbols for leaf in self.leaf_nodes])
+        node_bits = np.vstack([leaf.bits for leaf in self.leaf_nodes])
+        self._leaf_lower, self._leaf_upper = (
+            self.summarization.bins.intervals_batch(node_symbols, node_bits))
+        # The per-series intervals of all leaves (deferred by
+        # `_fill_leaf_payloads`) likewise come from one full-resolution
+        # intervals call over the leaf-ordered words — a single gather from
+        # the word matrix rather than one vstack copy per leaf; each leaf
+        # then points at its contiguous slice, the exact layout a loaded
+        # snapshot restores.
+        stacked_words = self._words[self._series_rows]
+        self._series_lower, self._series_upper = (
+            self.summarization.bins.intervals(stacked_words))
+        offsets = self._leaf_offsets.tolist()
+        sizes = self._leaf_sizes.tolist()
+        for leaf, offset, size in zip(self.leaf_nodes, offsets, sizes):
+            leaf.lower = self._series_lower[offset:offset + size]
+            leaf.upper = self._series_upper[offset:offset + size]
 
     @property
     def average_leaf_size(self) -> float:
@@ -201,26 +295,199 @@ class TreeIndex:
                                        self.summarization.weights)
         return bounds, self._series_rows
 
-    def _summarize_in_chunks(self, dataset: Dataset, timings: BuildTimings) -> np.ndarray:
-        """Stage-1 summarization, chunked so each chunk is one simulator task."""
-        chunks = np.array_split(np.arange(dataset.num_series),
-                                min(self.transform_chunks, dataset.num_series))
-        word_blocks = []
-        for chunk in chunks:
-            if chunk.size == 0:
-                continue
+    def _summarize_in_chunks(self, dataset: Dataset, timings: BuildTimings,
+                             pool: WorkerPool) -> np.ndarray:
+        """Stage-1 summarization, chunked so each chunk is one simulator task.
+
+        Chunks are mapped over the worker pool (the FFT and ``searchsorted``
+        kernels release the GIL); each chunk's cost is timed inside the worker
+        and the blocks are reassembled in chunk order, so the word matrix is
+        identical for any worker count.  Per-item costs are faithful
+        single-threaded work measurements only at ``num_workers=1`` — inside
+        concurrent workers they include contention wait — which is why
+        anything feeding the virtual-core replay builds single-worker (see
+        :meth:`repro.evaluation.workloads.WorkloadRunner.make_method`).
+        """
+        chunks = [chunk for chunk in
+                  np.array_split(np.arange(dataset.num_series),
+                                 min(self.transform_chunks, dataset.num_series))
+                  if chunk.size]
+        values = dataset.values
+
+        def timed_chunk(chunk: np.ndarray) -> tuple[np.ndarray, float]:
             start = time.perf_counter()
-            word_blocks.append(self.summarization.words(dataset.values[chunk]))
-            timings.transform_chunk_times.append(time.perf_counter() - start)
-        return np.vstack(word_blocks)
+            block = self.summarization.words(values[chunk])
+            return block, time.perf_counter() - start
+
+        blocks = pool.map(timed_chunk, chunks)
+        timings.transform_chunk_times.extend(elapsed for _, elapsed in blocks)
+        return np.vstack([block for block, _ in blocks])
 
     def _build_subtree(self, buffer: SummaryBuffer) -> Node:
-        """Build the subtree of one root child from its buffer."""
+        """Build one root subtree recursively (the seed reference builder)."""
         bits_per_symbol = self.summarization.bits
         root_symbols = np.asarray(buffer.key, dtype=np.int64)
         root_bits = np.ones(len(buffer.key), dtype=np.int64)
         return self._grow(buffer.indices, buffer.words, root_symbols, root_bits,
                           bits_per_symbol)
+
+    def _build_subtree_bulk(self, buffer: SummaryBuffer) -> Node:
+        """Build one root subtree iteratively, splitting whole frontiers per pass.
+
+        The recursive builder pays Python for every node: a `_choose_split`
+        loop over dimensions plus two boolean-mask copies of the node's rows.
+        This builder keeps a single permutation over the buffer's rows,
+        grouped by frontier node, and handles every node of a tree level
+        together — next-bit extraction, split scoring and the stable
+        left/right partition are each one vectorized operation over all rows
+        of the frontier (the argsort-plus-boundaries grouping of
+        :func:`~repro.index.buffers.fill_buffers`), so per-pass Python work is
+        O(nodes), not O(rows x dimensions).  The produced tree, leaves and
+        payload arrays are bit-identical to the recursive builder's.
+        """
+        max_bits = self.summarization.bits
+        words = buffer.words
+        num_rows, dims = words.shape
+
+        if num_rows <= self.leaf_size:
+            # Whole-buffer leaf (the common case on degenerate collections
+            # whose root fan-out shatters the data): skip the frontier
+            # machinery entirely.
+            leaf = LeafNode(symbols=np.asarray(buffer.key, dtype=np.int64),
+                            bits=np.ones(dims, dtype=np.int64))
+            self._fill_leaf_payloads(buffer, [leaf], [np.arange(num_rows)])
+            return leaf
+
+        dim_range = np.arange(dims)
+        unsplittable = np.iinfo(np.int64).max
+
+        # Rows of all active (frontier) nodes, grouped into contiguous
+        # segments; `starts`/`sizes` delimit the segment of each node.
+        order = np.arange(num_rows)
+        starts = np.zeros(1, dtype=np.int64)
+        sizes = np.array([num_rows], dtype=np.int64)
+        symbols_matrix = np.asarray(buffer.key, dtype=np.int64)[None, :].copy()
+        bits_matrix = np.ones((1, dims), dtype=np.int64)
+        # (parent InnerNode or None for the subtree root, side) per node.
+        links: list[tuple[InnerNode | None, int]] = [(None, 0)]
+
+        root: Node | None = None
+        pending_leaves: list[LeafNode] = []
+        leaf_segments: list[np.ndarray] = []
+
+        while starts.size:
+            num_nodes = starts.shape[0]
+            segment_of_row = np.repeat(np.arange(num_nodes), sizes)
+
+            # Next (not yet used) bit of every row in every dimension;
+            # exhausted dimensions produce a garbage bit that `valid` masks.
+            shifts = np.maximum(max_bits - bits_matrix - 1, 0)
+            next_bits = (words[order] >> shifts[segment_of_row]) & 1
+            ones = np.add.reduceat(next_bits, starts, axis=0)
+
+            valid = ((bits_matrix < max_bits)
+                     & (ones > 0) & (ones < sizes[:, None]))
+            if self.split_policy == "round-robin":
+                # First valid dimension in (bits used, dimension index) order.
+                score = bits_matrix * dims + dim_range[None, :]
+            else:
+                # Most balanced split; ties prefer coarser, then earlier
+                # dimensions — the exact `_choose_split` total order.
+                score = ((np.abs(sizes[:, None] - 2 * ones) * (max_bits + 1)
+                          + bits_matrix) * dims + dim_range[None, :])
+            score = np.where(valid, score, unsplittable)
+            split_dim = np.argmin(score, axis=1)
+            can_split = score[np.arange(num_nodes), split_dim] != unsplittable
+            is_leaf = ((sizes <= self.leaf_size)
+                       | np.all(bits_matrix >= max_bits, axis=1)
+                       | ~can_split)
+
+            # ---- materialize this pass's nodes and link them to parents.
+            nodes: list[Node] = []
+            for position in range(num_nodes):
+                if is_leaf[position]:
+                    node = LeafNode(symbols=symbols_matrix[position],
+                                    bits=bits_matrix[position])
+                    pending_leaves.append(node)
+                    leaf_segments.append(
+                        order[starts[position]:starts[position] + sizes[position]])
+                else:
+                    node = InnerNode(symbols=symbols_matrix[position],
+                                     bits=bits_matrix[position],
+                                     split_dimension=int(split_dim[position]))
+                nodes.append(node)
+                parent, side = links[position]
+                if parent is None:
+                    root = node
+                elif side == 0:
+                    parent.left = node
+                else:
+                    parent.right = node
+
+            split_positions = np.flatnonzero(~is_leaf)
+            if split_positions.size == 0:
+                break
+
+            # ---- stable left/right partition of every splitting node's rows:
+            # rows are already grouped by node in original relative order, so
+            # one stable sort on (node, appended bit) reproduces the
+            # `indices[~mask]` / `indices[mask]` copies of the recursive path.
+            keep = ~is_leaf[segment_of_row]
+            appended_bit = next_bits[np.arange(order.shape[0]),
+                                     split_dim[segment_of_row]]
+            kept_rows = order[keep]
+            partition = np.argsort(segment_of_row[keep] * 2 + appended_bit[keep],
+                                   kind="stable")
+            order = kept_rows[partition]
+
+            right_sizes = ones[split_positions, split_dim[split_positions]]
+            child_sizes = np.empty(2 * split_positions.size, dtype=np.int64)
+            child_sizes[0::2] = sizes[split_positions] - right_sizes
+            child_sizes[1::2] = right_sizes
+            starts = np.concatenate([[0], np.cumsum(child_sizes[:-1])]).astype(np.int64)
+            sizes = child_sizes
+
+            # ---- child words: append a 0/1 bit to the split dimension.
+            parent_symbols = symbols_matrix[split_positions]
+            split_dims = split_dim[split_positions]
+            symbols_matrix = np.repeat(parent_symbols, 2, axis=0)
+            bits_matrix = np.repeat(bits_matrix[split_positions], 2, axis=0)
+            left_rows = 2 * np.arange(split_positions.size)
+            promoted = parent_symbols[np.arange(split_positions.size), split_dims] << 1
+            symbols_matrix[left_rows, split_dims] = promoted
+            symbols_matrix[left_rows + 1, split_dims] = promoted | 1
+            bits_matrix[left_rows, split_dims] += 1
+            bits_matrix[left_rows + 1, split_dims] += 1
+            links = []
+            for position in split_positions:
+                inner = nodes[position]
+                links.append((inner, 0))
+                links.append((inner, 1))
+
+        self._fill_leaf_payloads(buffer, pending_leaves, leaf_segments)
+        return root
+
+    def _fill_leaf_payloads(self, buffer: SummaryBuffer,
+                            leaves: list[LeafNode],
+                            segments: list[np.ndarray]) -> None:
+        """Attach row indices and words to a subtree's freshly built leaves.
+
+        The per-series quantization intervals (``leaf.lower`` / ``leaf.upper``
+        in `_make_leaf`) are *not* computed here: the vectorized pipeline
+        defers them to :meth:`_build_leaf_directory`, which derives the
+        intervals of every leaf of every subtree in one batched call.
+        """
+        if not leaves:
+            return
+        stacked_rows = np.concatenate(segments)
+        stacked_words = buffer.words[stacked_rows]
+        stacked_indices = buffer.indices[stacked_rows].astype(np.int64)
+        offset = 0
+        for leaf, segment in zip(leaves, segments):
+            stop = offset + segment.shape[0]
+            leaf.indices = stacked_indices[offset:stop]
+            leaf.words = stacked_words[offset:stop]
+            offset = stop
 
     def _grow(self, indices: np.ndarray, words: np.ndarray, symbols: np.ndarray,
               bits: np.ndarray, max_bits: int) -> Node:

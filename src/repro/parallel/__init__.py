@@ -1,11 +1,17 @@
 """Parallel substrate: a real thread pool and a virtual-core cost simulator."""
 
-from repro.parallel.pool import WorkerPool, chunk_indices
+from repro.parallel.pool import (
+    WorkerPool,
+    chunk_indices,
+    default_num_workers,
+    resolve_num_workers,
+)
 from repro.parallel.simulator import (
     DEFAULT_SYNC_OVERHEAD,
     PhaseTiming,
     SimulatedRun,
     SimulatedSchedule,
+    assert_single_worker_replay,
     schedule_tasks,
     split_into_chunks,
 )
@@ -16,7 +22,10 @@ __all__ = [
     "SimulatedRun",
     "SimulatedSchedule",
     "WorkerPool",
+    "assert_single_worker_replay",
     "chunk_indices",
+    "default_num_workers",
+    "resolve_num_workers",
     "schedule_tasks",
     "split_into_chunks",
 ]

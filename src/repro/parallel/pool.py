@@ -8,6 +8,8 @@ use the deterministic simulator in :mod:`repro.parallel.simulator`.
 
 from __future__ import annotations
 
+import itertools
+import os
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -17,6 +19,43 @@ from repro.core.errors import InvalidParameterError
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Environment variable that sets the default worker count of every component
+#: that accepts ``num_workers=None`` (index construction, CI matrix runs).
+NUM_WORKERS_ENV = "REPRO_NUM_WORKERS"
+
+
+def default_num_workers() -> int:
+    """The process-wide default worker count (1 unless overridden by env).
+
+    Reads :data:`NUM_WORKERS_ENV` at call time so tests and CI jobs can flip
+    the default without touching call sites; an unset or empty variable means
+    single-worker, and invalid values raise a typed error rather than being
+    silently ignored.
+    """
+    raw = os.environ.get(NUM_WORKERS_ENV, "").strip()
+    if not raw:
+        return 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise InvalidParameterError(
+            f"{NUM_WORKERS_ENV} must be a positive integer, got '{raw}'"
+        ) from None
+    if value < 1:
+        raise InvalidParameterError(
+            f"{NUM_WORKERS_ENV} must be >= 1, got {value}"
+        )
+    return value
+
+
+def resolve_num_workers(num_workers: "int | None") -> int:
+    """Resolve an optional worker count: ``None`` falls back to the env default."""
+    if num_workers is None:
+        return default_num_workers()
+    if num_workers < 1:
+        raise InvalidParameterError(f"num_workers must be >= 1, got {num_workers}")
+    return int(num_workers)
 
 
 def chunk_indices(total: int, num_chunks: int) -> list[np.ndarray]:
@@ -32,21 +71,44 @@ class WorkerPool:
     """A small wrapper around :class:`ThreadPoolExecutor` with a map helper.
 
     ``num_workers=1`` short-circuits to an in-line loop so single-threaded runs
-    are deterministic and easy to profile.
+    are deterministic and easy to profile.  ``num_workers=None`` falls back to
+    the process default (:func:`default_num_workers`, settable through the
+    ``REPRO_NUM_WORKERS`` environment variable).
     """
 
-    def __init__(self, num_workers: int = 1) -> None:
-        if num_workers < 1:
-            raise InvalidParameterError(f"num_workers must be >= 1, got {num_workers}")
-        self.num_workers = num_workers
+    def __init__(self, num_workers: "int | None" = 1) -> None:
+        self.num_workers = resolve_num_workers(num_workers)
 
     def map(self, function: Callable[[T], R], items: Sequence[T] | Iterable[T]) -> list[R]:
-        """Apply ``function`` to every item, preserving order."""
+        """Apply ``function`` to every item, preserving order.
+
+        Multi-worker runs drain a shared work queue: each of the
+        ``num_workers`` threads repeatedly claims the next unclaimed item, so
+        items are picked up in input order (submitting longest-first realizes
+        a greedy LPT schedule) and a workload of thousands of small items pays
+        the executor dispatch cost once per *worker*, not once per item.
+        """
         items = list(items)
         if self.num_workers == 1 or len(items) <= 1:
             return [function(item) for item in items]
-        with ThreadPoolExecutor(max_workers=self.num_workers) as executor:
-            return list(executor.map(function, items))
+        results: list[R] = [None] * len(items)  # type: ignore[list-item]
+        # itertools.count.__next__ is a single C call, hence atomic under the
+        # GIL — a lock-free claim ticket.
+        tickets = itertools.count()
+
+        def drain() -> None:
+            while True:
+                position = next(tickets)
+                if position >= len(items):
+                    return
+                results[position] = function(items[position])
+
+        num_threads = min(self.num_workers, len(items))
+        with ThreadPoolExecutor(max_workers=num_threads) as executor:
+            futures = [executor.submit(drain) for _ in range(num_threads)]
+            for future in futures:
+                future.result()
+        return results
 
     def starmap(self, function: Callable[..., R], argument_tuples: Iterable[tuple]) -> list[R]:
         """Apply ``function`` to every argument tuple, preserving order."""

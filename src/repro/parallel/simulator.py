@@ -101,6 +101,37 @@ def schedule_tasks(task_costs: "np.ndarray | list[float]", num_workers: int,
     )
 
 
+def assert_single_worker_replay(task_costs: "np.ndarray | list[float]",
+                                serial_time: float, wall_time: float,
+                                rtol: float = 0.5, atol: float = 0.05) -> float:
+    """Check that the simulator's 1-worker replay matches a measured wall clock.
+
+    At ``num_workers=1`` the simulated makespan is simply the sum of the
+    recorded per-task costs plus the serial part, so a build whose tasks were
+    timed faithfully must have a wall clock close to it.  This is the sanity
+    anchor of the Figure-7 replay: if the per-item timings drifted away from
+    what the build actually spent (lost work, double counting), every simulated
+    core count would inherit the error.
+
+    Returns the simulated 1-worker time.  Raises ``AssertionError`` when the
+    two disagree by more than ``atol + rtol * max(wall_time, simulated)``
+    (the defaults absorb scheduling jitter and the small amount of
+    orchestration — buffer grouping, directory assembly — that is not part of
+    any recorded task).
+    """
+    if wall_time < 0:
+        raise InvalidParameterError(f"wall_time must be >= 0, got {wall_time}")
+    schedule = schedule_tasks(task_costs, num_workers=1, serial_time=serial_time,
+                              sync_overhead=0.0)
+    simulated = schedule.total_time
+    if abs(simulated - wall_time) > atol + rtol * max(wall_time, simulated):
+        raise AssertionError(
+            f"simulated 1-worker makespan {simulated:.4f}s disagrees with the "
+            f"measured wall clock {wall_time:.4f}s beyond rtol={rtol}, atol={atol}"
+        )
+    return simulated
+
+
 @dataclass
 class PhaseTiming:
     """Timing of one named phase of a larger simulated computation."""

@@ -300,6 +300,70 @@ class HierarchicalBins:
             return lower[0], upper[0]
         return lower, upper
 
+    def intervals_batch(self, symbols: np.ndarray, cardinality_bits: np.ndarray
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Intervals of many words where *every word carries its own bits*.
+
+        The index's leaf directory needs the node-level interval of every leaf,
+        and each leaf sits at a different refinement (its own per-dimension bit
+        counts).  :meth:`intervals` only supports one shared ``bits`` vector,
+        forcing one call per leaf; this variant accepts a full
+        ``(num_words, dims)`` bit matrix (anything broadcastable to the symbol
+        shape) and gathers every interval in one vectorized pass.
+
+        Parameters
+        ----------
+        symbols:
+            Integer symbols of shape ``(num_words, dims)``, each row expressed
+            at its own resolution.
+        cardinality_bits:
+            Per-word, per-dimension bit counts, broadcastable to
+            ``symbols.shape``.  Zero bits yield ``(-inf, +inf)``.
+
+        Returns
+        -------
+        (lower, upper):
+            Float arrays of shape ``(num_words, dims)``; results are
+            bit-identical to calling :meth:`intervals` row by row.
+        """
+        self._require_fitted()
+        words = np.asarray(symbols, dtype=np.int64)
+        if words.ndim != 2:
+            raise InvalidParameterError(
+                f"expected a 2-D symbol matrix, got shape {words.shape}"
+            )
+        dims = self._breakpoints.shape[0]
+        if words.shape[1] != dims:
+            raise InvalidParameterError(
+                f"expected {dims} dimensions, got {words.shape[1]}"
+            )
+        bits_matrix = np.broadcast_to(
+            np.asarray(cardinality_bits, dtype=np.int64), words.shape)
+        if np.any((bits_matrix < 0) | (bits_matrix > self.bits)):
+            raise InvalidParameterError(
+                f"cardinality bits must be in [0, {self.bits}]"
+            )
+        cardinality = np.int64(1) << bits_matrix
+        if np.any((words < 0) | (words >= cardinality)):
+            raise InvalidParameterError("symbol out of range for its cardinality")
+
+        # Same strided-grid gather as `intervals`, with the stride varying per
+        # word as well as per dimension.
+        stride = np.int64(1) << (self.bits - bits_matrix)
+        lower_index = words * stride - 1
+        upper_index = (words + 1) * stride - 1
+        nonzero_bits = bits_matrix > 0
+        has_lower = (words > 0) & nonzero_bits
+        has_upper = (words < cardinality - 1) & nonzero_bits
+
+        max_index = self._breakpoints.shape[1] - 1
+        dim_index = np.broadcast_to(np.arange(dims), words.shape)
+        lower_values = self._breakpoints[dim_index, np.clip(lower_index, 0, max_index)]
+        upper_values = self._breakpoints[dim_index, np.clip(upper_index, 0, max_index)]
+        lower = np.where(has_lower, lower_values, -np.inf)
+        upper = np.where(has_upper, upper_values, np.inf)
+        return lower, upper
+
     def mindist(self, values: np.ndarray, symbols: np.ndarray,
                 cardinality_bits: np.ndarray | int | None = None) -> np.ndarray:
         """Per-dimension mindist (Eq. 2) between numeric values and symbols."""

@@ -48,3 +48,42 @@ class TestFillBuffers:
         buffers = fill_buffers(np.array([[7, 0, 3]]), bits=3)
         assert len(buffers) == 1
         assert buffers[0].size == 1
+
+
+class TestWideWords:
+    """Regression: packing one bit per dimension into a single int64 silently
+    corrupted grouping for word lengths beyond 63 (the leading dimensions'
+    bits were shifted out of the integer)."""
+
+    @pytest.mark.parametrize("word_length", [64, 70, 128])
+    def test_rows_differing_only_in_leading_dimension_are_separated(self, word_length):
+        words = np.zeros((2, word_length), dtype=np.int64)
+        words[1, 0] = 2  # only the top bit of dimension 0 differs (bits=2)
+        buffers = fill_buffers(words, bits=2)
+        assert len(buffers) == 2
+        assert {buffer.key[0] for buffer in buffers} == {0, 1}
+
+    @pytest.mark.parametrize("word_length", [63, 64, 65, 100])
+    def test_wide_grouping_invariants(self, word_length):
+        rng = np.random.default_rng(word_length)
+        words = rng.integers(0, 4, size=(80, word_length))
+        buffers = fill_buffers(words, bits=2)
+        all_indices = np.concatenate([buffer.indices for buffer in buffers])
+        assert np.array_equal(np.sort(all_indices), np.arange(80))
+        sizes = [buffer.size for buffer in buffers]
+        assert sizes == sorted(sizes, reverse=True)
+        for buffer in buffers:
+            assert np.array_equal(buffer.words, words[buffer.indices])
+            assert np.all((buffer.words >> 1) == np.asarray(buffer.key))
+
+    def test_wide_and_narrow_paths_group_identically(self):
+        """Duplicate the narrow words into padded wide ones: group membership
+        must match the int64 fast path exactly."""
+        rng = np.random.default_rng(7)
+        narrow = rng.integers(0, 4, size=(60, 8))
+        wide = np.concatenate([narrow, np.zeros((60, 60), dtype=np.int64)], axis=1)
+        narrow_groups = {buffer.key: buffer.indices.tolist()
+                        for buffer in fill_buffers(narrow, bits=2)}
+        wide_groups = {buffer.key[:8]: buffer.indices.tolist()
+                      for buffer in fill_buffers(wide, bits=2)}
+        assert narrow_groups == wide_groups

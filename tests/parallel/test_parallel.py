@@ -6,9 +6,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.errors import InvalidParameterError
-from repro.parallel.pool import WorkerPool, chunk_indices
+from repro.parallel.pool import (
+    NUM_WORKERS_ENV,
+    WorkerPool,
+    chunk_indices,
+    default_num_workers,
+    resolve_num_workers,
+)
 from repro.parallel.simulator import (
     SimulatedRun,
+    assert_single_worker_replay,
     schedule_tasks,
     split_into_chunks,
 )
@@ -47,6 +54,66 @@ class TestWorkerPool:
     def test_invalid_worker_count(self):
         with pytest.raises(InvalidParameterError):
             WorkerPool(num_workers=0)
+
+    def test_many_small_items_preserve_order(self):
+        """The queue-drain path handles far more items than workers."""
+        pool = WorkerPool(num_workers=3)
+        items = list(range(500))
+        assert pool.map(lambda x: x * 2, items) == [x * 2 for x in items]
+
+    def test_worker_exception_propagates(self):
+        pool = WorkerPool(num_workers=2)
+
+        def explode(x):
+            if x == 5:
+                raise ValueError("boom")
+            return x
+
+        with pytest.raises(ValueError, match="boom"):
+            pool.map(explode, range(10))
+
+
+class TestDefaultNumWorkers:
+    def test_unset_env_means_one(self, monkeypatch):
+        monkeypatch.delenv(NUM_WORKERS_ENV, raising=False)
+        assert default_num_workers() == 1
+        assert resolve_num_workers(None) == 1
+
+    def test_env_sets_default(self, monkeypatch):
+        monkeypatch.setenv(NUM_WORKERS_ENV, "4")
+        assert default_num_workers() == 4
+        assert resolve_num_workers(None) == 4
+        assert WorkerPool(num_workers=None).num_workers == 4
+
+    def test_explicit_value_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(NUM_WORKERS_ENV, "4")
+        assert resolve_num_workers(2) == 2
+
+    @pytest.mark.parametrize("value", ["0", "-3", "two"])
+    def test_invalid_env_values_raise(self, monkeypatch, value):
+        monkeypatch.setenv(NUM_WORKERS_ENV, value)
+        with pytest.raises(InvalidParameterError):
+            default_num_workers()
+
+    def test_invalid_explicit_value_raises(self):
+        with pytest.raises(InvalidParameterError):
+            resolve_num_workers(0)
+
+
+class TestAssertSingleWorkerReplay:
+    def test_consistent_timings_pass(self):
+        simulated = assert_single_worker_replay([0.2, 0.3], serial_time=0.1,
+                                                wall_time=0.62)
+        assert simulated == pytest.approx(0.6)
+
+    def test_drifted_timings_fail(self):
+        with pytest.raises(AssertionError, match="disagrees"):
+            assert_single_worker_replay([0.2, 0.3], serial_time=0.0,
+                                        wall_time=5.0, rtol=0.1, atol=0.01)
+
+    def test_negative_wall_time_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            assert_single_worker_replay([0.1], serial_time=0.0, wall_time=-1.0)
 
 
 class TestScheduleTasks:

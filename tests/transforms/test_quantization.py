@@ -203,6 +203,59 @@ class TestIntervals:
         assert distance[0, 0] > 0
 
 
+class TestIntervalsBatch:
+    """intervals_batch: per-word bit counts, one vectorized gather."""
+
+    @pytest.mark.parametrize("scheme", ["gaussian", "equi-depth", "equi-width"])
+    def test_matches_per_word_intervals(self, scheme, rng):
+        data = rng.standard_normal((300, 4))
+        bins = HierarchicalBins(bits=4, scheme=scheme).fit(data)
+        num_words = 40
+        bits_matrix = rng.integers(0, 5, size=(num_words, 4))
+        symbols = rng.integers(0, 1 << 4, size=(num_words, 4)) % (1 << bits_matrix)
+        lower, upper = bins.intervals_batch(symbols, bits_matrix)
+        for row in range(num_words):
+            expected_lower, expected_upper = bins.intervals(symbols[row],
+                                                            bits_matrix[row])
+            assert np.array_equal(lower[row], expected_lower)
+            assert np.array_equal(upper[row], expected_upper)
+
+    def test_broadcasts_shared_bits(self, rng):
+        data = rng.standard_normal((200, 3))
+        bins = HierarchicalBins(bits=3, scheme="equi-width").fit(data)
+        symbols = rng.integers(0, 4, size=(20, 3))
+        lower, upper = bins.intervals_batch(symbols, np.int64(2))
+        expected_lower, expected_upper = bins.intervals(symbols, 2)
+        assert np.array_equal(lower, expected_lower)
+        assert np.array_equal(upper, expected_upper)
+
+    def test_zero_bits_rows_are_unbounded(self, rng):
+        data = rng.standard_normal((100, 2))
+        bins = HierarchicalBins(bits=3, scheme="equi-depth").fit(data)
+        symbols = np.array([[0, 3], [0, 0]])
+        bits_matrix = np.array([[0, 2], [0, 0]])
+        lower, upper = bins.intervals_batch(symbols, bits_matrix)
+        assert np.isneginf(lower[0, 0]) and np.isposinf(upper[0, 0])
+        assert np.all(np.isneginf(lower[1])) and np.all(np.isposinf(upper[1]))
+        assert np.isfinite(lower[0, 1])
+
+    def test_invalid_inputs_raise(self, rng):
+        data = rng.standard_normal((100, 2))
+        bins = HierarchicalBins(bits=2, scheme="gaussian").fit(data)
+        with pytest.raises(InvalidParameterError):
+            bins.intervals_batch(np.zeros(2, dtype=int), np.int64(1))  # 1-D
+        with pytest.raises(InvalidParameterError):
+            bins.intervals_batch(np.zeros((3, 5), dtype=int), np.int64(1))  # dims
+        with pytest.raises(InvalidParameterError):
+            bins.intervals_batch(np.zeros((2, 2), dtype=int),
+                                 np.array([[3, 0], [0, 0]]))  # bits too large
+        with pytest.raises(InvalidParameterError):
+            bins.intervals_batch(np.array([[2, 0]]), np.array([[1, 1]]))  # symbol
+        with pytest.raises(NotFittedError):
+            HierarchicalBins(bits=2).intervals_batch(np.zeros((1, 2), dtype=int),
+                                                     np.int64(1))
+
+
 @given(st.integers(min_value=0, max_value=5000),
        st.sampled_from(["gaussian", "equi-depth", "equi-width"]),
        st.integers(min_value=1, max_value=8))
