@@ -41,6 +41,7 @@ from repro.datasets import (
 from repro.evaluation import WorkloadRunner, critical_difference, evaluate_tlb, tlb_study
 from repro.index import (
     BatchSearcher,
+    DynamicIndex,
     ExactSearcher,
     MessiIndex,
     SearchResult,
@@ -58,6 +59,7 @@ __all__ = [
     "BatchSearcher",
     "DFT",
     "Dataset",
+    "DynamicIndex",
     "ExactSearcher",
     "FlatL2Index",
     "HierarchicalBins",

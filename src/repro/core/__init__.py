@@ -21,7 +21,7 @@ from repro.core.lower_bounds import (
     tightness_of_lower_bound,
 )
 from repro.core.normalization import is_znormalized, znormalize, znormalize_batch
-from repro.core.series import Dataset
+from repro.core.series import Dataset, GrowableArray
 from repro.core.simd import (
     batch_lower_bound,
     chunked_masked_lower_bound,
@@ -32,6 +32,7 @@ from repro.core.simd import (
 __all__ = [
     "Dataset",
     "DatasetError",
+    "GrowableArray",
     "InvalidParameterError",
     "NotFittedError",
     "ReproError",

@@ -16,6 +16,79 @@ from repro.core.errors import DatasetError
 from repro.core.normalization import znormalize_batch
 
 
+class GrowableArray:
+    """An append-only array with amortized-doubling capacity growth.
+
+    Appending rows to a plain ``numpy`` array costs a full copy per append
+    (``np.vstack`` reallocates everything), which turns an ingest stream of
+    ``n`` single-series inserts into O(n²) copying.  ``GrowableArray`` keeps a
+    backing buffer that at least doubles whenever it runs out of room, so a
+    stream of appends costs amortized O(1) copies per row, and :attr:`view`
+    exposes the rows appended so far as a zero-copy slice.
+
+    Growth never mutates published rows: when the buffer is reallocated the
+    old backing array is left intact, so :attr:`view` slices handed out
+    earlier (e.g. to concurrent readers of the dynamic index) keep their
+    values.
+
+    Parameters
+    ----------
+    row_shape:
+        Shape of a single row: ``()`` for a 1-D array of scalars, ``(l,)``
+        for a matrix whose rows have ``l`` columns.
+    dtype:
+        Element dtype of the buffer (``float64`` by default).
+    capacity:
+        Initial number of pre-allocated rows.
+    """
+
+    def __init__(self, row_shape: tuple[int, ...] = (),
+                 dtype: "np.dtype | type" = np.float64, capacity: int = 0) -> None:
+        if capacity < 0:
+            raise DatasetError(f"capacity must be non-negative, got {capacity}")
+        self._row_shape = tuple(int(dimension) for dimension in row_shape)
+        self._data = np.empty((capacity, *self._row_shape), dtype=dtype)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        """Number of rows the current backing buffer can hold."""
+        return self._data.shape[0]
+
+    @property
+    def view(self) -> np.ndarray:
+        """Zero-copy view of the rows appended so far."""
+        return self._data[: self._count]
+
+    def append(self, rows: np.ndarray) -> int:
+        """Append a block of rows; returns the index of the first new row.
+
+        ``rows`` must have shape ``(count, *row_shape)`` (or ``row_shape``
+        itself for a single row).
+        """
+        rows = np.asarray(rows, dtype=self._data.dtype)
+        if rows.shape == self._row_shape:
+            rows = rows[None]
+        if rows.shape[1:] != self._row_shape:
+            raise DatasetError(
+                f"appended rows must have row shape {self._row_shape}, "
+                f"got {rows.shape[1:]}"
+            )
+        start = self._count
+        needed = start + rows.shape[0]
+        if needed > self._data.shape[0]:
+            grown = max(needed, 2 * self._data.shape[0], 8)
+            data = np.empty((grown, *self._row_shape), dtype=self._data.dtype)
+            data[:start] = self._data[:start]
+            self._data = data
+        self._data[start:needed] = rows
+        self._count = needed
+        return start
+
+
 @dataclass
 class Dataset:
     """A named collection of equal-length data series.

@@ -17,17 +17,25 @@ Two engines answer exact k-NN queries over a built
 Prefer the batched engine whenever queries arrive in groups of a few dozen or
 more; prefer the per-query engine for single interactive lookups or when
 per-leaf work-item timings feed the virtual-core simulator.
+
+Both engines can serve a *mutating* collection through
+:class:`~repro.index.dynamic.DynamicIndex`: buffered inserts and tombstone
+deletes fused into the refinement loops, periodic compaction through the
+parallel build pipeline, and mid-ingest snapshots (format v2).
 """
 
 from repro.index.batch_search import BatchSearcher
 from repro.index.buffers import SummaryBuffer, fill_buffers
+from repro.index.dynamic import DeltaView, DynamicIndex
 from repro.index.messi import MessiIndex
 from repro.index.node import InnerNode, LeafNode, Node, root_child_word
 from repro.index.persistence import (
     FORMAT_VERSION,
+    load_dynamic,
     load_index,
     load_tree,
     read_manifest,
+    save_dynamic,
     save_index,
     save_tree,
 )
@@ -39,6 +47,8 @@ from repro.index.tree import BuildTimings, TreeIndex
 __all__ = [
     "BatchSearcher",
     "BuildTimings",
+    "DeltaView",
+    "DynamicIndex",
     "ExactSearcher",
     "FORMAT_VERSION",
     "IndexStructureStats",
@@ -53,10 +63,12 @@ __all__ = [
     "TreeIndex",
     "compute_structure_stats",
     "fill_buffers",
+    "load_dynamic",
     "load_index",
     "load_tree",
     "read_manifest",
     "root_child_word",
+    "save_dynamic",
     "save_index",
     "save_tree",
 ]

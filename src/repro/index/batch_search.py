@@ -40,6 +40,14 @@ summing per-query totals recovers the batch wall-clock.
 ``knn_batch(..., num_workers=n)`` shards the workload across a
 :class:`~repro.parallel.pool.WorkerPool`; the heavy kernels release the GIL
 inside BLAS, so shards overlap on real cores.
+
+Like the per-query engine, the batched engine can fuse a dynamic overlay
+(:class:`~repro.index.dynamic.DeltaView`, provided by a ``delta_source``
+callable): buffered delta series join every query's candidate set through the
+same multi-query lower-bound kernels (one extra shared refinement round right
+after the seed round), and tombstoned rows are masked to ``+inf`` so they are
+never nominated.  Answers remain bit-identical to a scratch rebuild on the
+surviving rows.
 """
 
 from __future__ import annotations
@@ -51,7 +59,7 @@ import numpy as np
 from repro.core.distance import pairwise_squared_euclidean
 from repro.core.errors import SearchError
 from repro.core.normalization import znormalize_batch
-from repro.core.simd import batch_lower_bound_pairs
+from repro.core.simd import batch_lower_bound_multi, batch_lower_bound_pairs
 from repro.index.search import SearchResult, SearchStats, finalize_result
 from repro.index.tree import TreeIndex
 from repro.parallel.pool import WorkerPool, chunk_indices
@@ -200,11 +208,17 @@ class BatchSearcher:
     flat_block_size:
         Per-query candidate nomination budget per round on the flat path
         (matches the sequential flat search's block size).
+    delta_source:
+        Optional zero-argument callable returning the current
+        :class:`~repro.index.dynamic.DeltaView` of a dynamic index (or
+        ``None`` when there are no pending writes).  When set, every batch
+        answers over *tree ∪ delta − tombstones*.
     """
 
     def __init__(self, index: TreeIndex, normalize_queries: bool = True,
                  flat_refinement_threshold: float = 4.0,
-                 group_target: int | None = None, flat_block_size: int = 128) -> None:
+                 group_target: int | None = None, flat_block_size: int = 128,
+                 delta_source=None) -> None:
         if not index.is_built:
             raise SearchError("the index must be built before searching")
         if group_target is not None and group_target < 1:
@@ -213,6 +227,7 @@ class BatchSearcher:
             raise SearchError(f"flat_block_size must be >= 1, got {flat_block_size}")
         self.index = index
         self.normalize_queries = normalize_queries
+        self._delta_source = delta_source
         self.flat_refinement_threshold = flat_refinement_threshold
         self.group_target = group_target if group_target is not None else max(index.leaf_size, 64)
         self.flat_block_size = flat_block_size
@@ -236,9 +251,14 @@ class BatchSearcher:
         """
         if k < 1:
             raise SearchError(f"k must be >= 1, got {k}")
-        if k > self.index.num_series:
+        # Capture the dynamic overlay once per batch so every shard (possibly
+        # on another pool thread) answers over the same consistent snapshot.
+        delta = self._delta_source() if self._delta_source is not None else None
+        available = self.index.num_series if delta is None else delta.num_surviving
+        if k > available:
             raise SearchError(
-                f"k={k} exceeds the number of indexed series ({self.index.num_series})"
+                f"k={k} exceeds the number of "
+                f"{'indexed' if delta is None else 'surviving'} series ({available})"
             )
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         if queries.ndim != 2 or queries.shape[1] != self.index.dataset.series_length:
@@ -258,37 +278,42 @@ class BatchSearcher:
                          max(min(num_workers, num_queries),
                              -(-num_queries // cell_cap)))
         if num_shards == 1:
-            return self._search_shard(queries, k)
+            return self._search_shard(queries, k, delta)
         shards = [shard for shard in chunk_indices(num_queries, num_shards)
                   if shard.size]
         pool = WorkerPool(num_workers)
-        parts = pool.map(lambda shard: self._search_shard(queries[shard], k), shards)
+        parts = pool.map(lambda shard: self._search_shard(queries[shard], k, delta),
+                         shards)
         return [result for part in parts for result in part]
 
     # -------------------------------------------------------------- engine
 
-    def _search_shard(self, queries: np.ndarray, k: int) -> list[SearchResult]:
+    def _search_shard(self, queries: np.ndarray, k: int,
+                      delta=None) -> list[SearchResult]:
         if self.normalize_queries:
             queries = znormalize_batch(queries)
         num_queries = queries.shape[0]
+        num_available = (self.index.num_series if delta is None
+                         else delta.num_surviving)
         summaries = self._summarization.transform_batch(queries)
-        stats = [SearchStats(num_series=self.index.num_series) for _ in range(num_queries)]
+        stats = [SearchStats(num_series=num_available) for _ in range(num_queries)]
         frontier = _QueryFrontier(num_queries, k)
 
         if self.index.average_leaf_size < self.flat_refinement_threshold:
-            self._flat_search(queries, summaries, frontier, stats)
+            self._flat_search(queries, summaries, frontier, stats, delta)
         else:
-            self._tree_search(queries, summaries, frontier, stats)
+            self._tree_search(queries, summaries, frontier, stats, delta)
 
         values = self.index.dataset.values
         return [finalize_result(query, values, frontier.rows[query_index],
-                                stats[query_index])
+                                stats[query_index], delta=delta)
                 for query_index, query in enumerate(queries)]
 
     # ------------------------------------------------------------ tree path
 
     def _tree_search(self, queries: np.ndarray, summaries: np.ndarray,
-                     frontier: _QueryFrontier, stats: list[SearchStats]) -> None:
+                     frontier: _QueryFrontier, stats: list[SearchStats],
+                     delta=None) -> None:
         index = self.index
         num_leaves = len(index.leaf_nodes)
         num_queries = queries.shape[0]
@@ -320,10 +345,32 @@ class BatchSearcher:
         seed_positions = orders[:, 0].copy()
         instance_query, instance_column = _expand_pairs(
             np.arange(num_queries), seed_positions, leaf_offsets, leaf_sizes)
-        self._refine_pairs(queries, instance_query, series_rows[instance_column],
-                           frontier, stats)
+        if delta is not None and delta.base_alive is not None:
+            alive = delta.base_alive[series_rows[instance_column]]
+            instance_query = instance_query[alive]
+            instance_column = instance_column[alive]
+        if instance_query.size:
+            self._refine_pairs(queries, instance_query, series_rows[instance_column],
+                               frontier, stats, delta)
         visited += 1
-        checked += leaf_sizes[seed_positions]
+        checked += np.bincount(instance_query, minlength=num_queries)
+
+        # The delta buffer is one shared extra refinement round right after
+        # the seed: every query's surviving delta series (same multi-query
+        # lower-bound kernel, tombstones masked to +inf) are refined together,
+        # so the BSF is tight before the leaf rounds start nominating.
+        if delta is not None and delta.rows.size:
+            delta_bounds = batch_lower_bound_multi(summaries, delta.lower,
+                                                   delta.upper, weights)
+            delta_bounds[:, ~delta.alive] = np.inf
+            checked += delta.rows.shape[0]
+            pair_query_delta, pair_delta_column = np.nonzero(
+                delta_bounds < frontier.thresholds(
+                    np.arange(num_queries))[:, None])
+            if pair_query_delta.size:
+                self._refine_pairs(queries, pair_query_delta,
+                                   delta.rows[pair_delta_column],
+                                   frontier, stats, delta)
         seed_share = (time.perf_counter() - start) / max(1, num_queries)
         initial_thresholds = frontier.thresholds(np.arange(num_queries))
         below_initial = (sorted_bounds < initial_thresholds[:, None]).sum(axis=1)
@@ -358,10 +405,12 @@ class BatchSearcher:
                                                  series_upper[instance_column], weights)
                 checked += np.bincount(instance_query, minlength=num_queries)
                 survivors = bounds < frontier.thresholds(instance_query)
+                if delta is not None and delta.base_alive is not None:
+                    survivors &= delta.base_alive[series_rows[instance_column]]
                 if survivors.any():
                     self._refine_pairs(queries, instance_query[survivors],
                                        series_rows[instance_column[survivors]],
-                                       frontier, stats)
+                                       frontier, stats, delta)
             pointers[active_queries] += cuts
             finished = active_queries[cuts < window]
             for query_index in finished:
@@ -378,18 +427,30 @@ class BatchSearcher:
     # ------------------------------------------------------------ flat path
 
     def _flat_search(self, queries: np.ndarray, summaries: np.ndarray,
-                     frontier: _QueryFrontier, stats: list[SearchStats]) -> None:
+                     frontier: _QueryFrontier, stats: list[SearchStats],
+                     delta=None) -> None:
         """Filter-and-refine over the flat directory, batched across queries.
 
         The per-series bounds of every query come from one multi-query kernel
         call; rounds then work like the tree path with each directory entry
         acting as a singleton leaf whose bound is already known, so no pair
-        kernel is needed inside the rounds.
+        kernel is needed inside the rounds.  A dynamic ``delta`` appends its
+        buffered series as extra directory columns (same multi-query kernel)
+        and masks tombstoned entries to ``+inf``.
         """
         index = self.index
         num_queries = queries.shape[0]
         start = time.perf_counter()
         bounds, rows = index.all_series_lower_bounds(summaries)
+        if delta is not None:
+            if delta.base_alive is not None:
+                bounds[:, ~delta.base_alive[rows]] = np.inf
+            if delta.rows.size:
+                delta_bounds = batch_lower_bound_multi(summaries, delta.lower,
+                                                       delta.upper, self._weights)
+                delta_bounds[:, ~delta.alive] = np.inf
+                bounds = np.concatenate([bounds, delta_bounds], axis=1)
+                rows = np.concatenate([rows, delta.rows])
         orders = np.argsort(bounds, axis=1, kind="stable")
         sorted_bounds = np.take_along_axis(bounds, orders, axis=1)
         num_entries = rows.shape[0]
@@ -412,7 +473,7 @@ class BatchSearcher:
                 window, frontier.thresholds(active_queries))
             if pair_column.size:
                 self._refine_pairs(queries, pair_query, rows[pair_column],
-                                   frontier, stats)
+                                   frontier, stats, delta)
             pointers[active_queries] += cuts
             active[active_queries[cuts < window]] = False
             round_share = (time.perf_counter() - round_start) / active_queries.size
@@ -423,7 +484,7 @@ class BatchSearcher:
 
     def _refine_pairs(self, queries: np.ndarray, pair_query: np.ndarray,
                       pair_rows: np.ndarray, frontier: _QueryFrontier,
-                      stats: list[SearchStats]) -> None:
+                      stats: list[SearchStats], delta=None) -> None:
         """True distances for the surviving (query, series) pairs of a round.
 
         When many queries share candidates, one ``pairwise_squared_euclidean``
@@ -432,18 +493,23 @@ class BatchSearcher:
         is low the rectangle mostly computes distances nobody asked for, so
         the pairs are instead evaluated directly with one elementwise kernel
         over the gathered (query, series) rows.  ``pair_query`` must be sorted
-        (pairs are produced query-major).
+        (pairs are produced query-major).  ``pair_rows`` may point into the
+        dynamic delta buffer; ``delta.gather`` resolves those rows.
         """
         values = self.index.dataset.values
         unique_queries, counts = np.unique(pair_query, return_counts=True)
         unique_rows, column_of_pair = np.unique(pair_rows, return_inverse=True)
         if 4 * pair_rows.shape[0] >= unique_queries.shape[0] * unique_rows.shape[0]:
+            candidates = (values[unique_rows] if delta is None
+                          else delta.gather(values, unique_rows))
             squared = pairwise_squared_euclidean(queries[unique_queries],
-                                                 values[unique_rows])
+                                                 candidates)
             row_of_pair = np.searchsorted(unique_queries, pair_query)
             distances = squared[row_of_pair, column_of_pair]
         else:
-            difference = values[pair_rows] - queries[pair_query]
+            gathered = (values[pair_rows] if delta is None
+                        else delta.gather(values, pair_rows))
+            difference = gathered - queries[pair_query]
             distances = np.einsum("ij,ij->i", difference, difference)
         frontier.offer_pairs(pair_query, distances, pair_rows)
         for position, query_index in enumerate(unique_queries):

@@ -98,6 +98,18 @@ class MessiIndex:
 
         return load_index(path, mmap=mmap, expected_type="messi")
 
+    def dynamic(self, **options) -> "DynamicIndex":
+        """Wrap this built index in a :class:`~repro.index.dynamic.DynamicIndex`.
+
+        The returned index serves *tree ∪ delta − tombstones* with buffered
+        ``insert``/``delete`` and ``compact()``; ``options`` are forwarded to
+        its constructor (``compact_threshold``, ``auto_compact``, ...).
+        """
+        from repro.index.dynamic import DynamicIndex
+
+        self._require_built()
+        return DynamicIndex(self, **options)
+
     def knn(self, query: np.ndarray, k: int = 1) -> SearchResult:
         """Exact k nearest neighbours of ``query``."""
         return self._require_built().knn(query, k=k)

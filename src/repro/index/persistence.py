@@ -30,6 +30,17 @@ the same float64 values either way.
 Snapshots are versioned.  :data:`FORMAT_VERSION` is bumped whenever the
 layout changes; loading a snapshot written by a newer library raises a clear
 :class:`~repro.core.errors.IndexError_` instead of a numpy decode error.
+
+Format version 2 adds *dynamic* snapshots: a
+:class:`~repro.index.dynamic.DynamicIndex` saved mid-ingest stores, next to
+its base tree, the delta buffer (values and quantization intervals of every
+buffered series) and both tombstone sets, plus a ``dynamic`` manifest
+section.  Loading restores the exact serving state — same surviving rows,
+same global row ids, same answers.  The upgrade path is total: format-v1
+snapshots (and v2 snapshots of static indexes) load through
+``DynamicIndex.load`` as a compacted index with an empty delta, while
+``load_index`` returns whatever was saved (a dynamic snapshot comes back as
+a :class:`~repro.index.dynamic.DynamicIndex`).
 """
 
 from __future__ import annotations
@@ -53,7 +64,13 @@ from repro.transforms.sfa import SFA
 FORMAT_MAGIC = "repro-index-snapshot"
 
 #: Current snapshot layout version.  Bump on any incompatible layout change.
-FORMAT_VERSION = 1
+#: Version 2 (dynamic-maintenance subsystem) adds the optional delta/tombstone
+#: payload of dynamic indexes; static v2 snapshots keep the v1 layout.
+FORMAT_VERSION = 2
+
+#: Names of the delta/tombstone arrays of a dynamic (v2) snapshot.
+_DYNAMIC_ARRAYS = ("delta_values", "delta_lower", "delta_upper",
+                   "delta_alive", "base_alive")
 
 #: Manifest file name inside a snapshot directory.
 MANIFEST_NAME = "manifest.json"
@@ -156,11 +173,15 @@ def _flatten_tree(tree: TreeIndex) -> dict[str, np.ndarray]:
 
 
 def save_tree(tree: TreeIndex, path: "str | Path",
-              index_type: str = "tree") -> Path:
+              index_type: str = "tree",
+              extra_arrays: "dict[str, np.ndarray] | None" = None,
+              extra_manifest: "dict | None" = None) -> Path:
     """Write a built :class:`TreeIndex` as a versioned snapshot directory.
 
     Returns the snapshot path.  ``index_type`` records which wrapper the
     snapshot restores to (``"sofa"``, ``"messi"`` or the bare ``"tree"``).
+    ``extra_arrays``/``extra_manifest`` let :func:`save_dynamic` persist the
+    delta/tombstone payload and its manifest section next to the base tree.
     """
     if not tree.is_built:
         raise IndexError_("only a built index can be saved")
@@ -187,6 +208,13 @@ def save_tree(tree: TreeIndex, path: "str | Path",
     arrays["values"] = tree.dataset.values
     for name, array in summarization_arrays.items():
         arrays[f"summarization_{name}"] = array
+    if extra_arrays:
+        overlap = set(extra_arrays) & set(arrays)
+        if overlap:
+            raise IndexError_(
+                f"extra snapshot arrays clash with tree arrays: {sorted(overlap)}"
+            )
+        arrays.update(extra_arrays)
 
     # Write-to-temp-then-rename, one file at a time.  The rename replaces the
     # directory entry while any mapped old inode stays alive, so re-saving a
@@ -223,6 +251,8 @@ def save_tree(tree: TreeIndex, path: "str | Path",
         },
         "arrays": sorted(arrays),
     }
+    if extra_manifest:
+        manifest.update(extra_manifest)
     temporary = path / f"{MANIFEST_NAME}.tmp"
     with open(temporary, "w", encoding="utf-8") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
@@ -442,7 +472,12 @@ def load_tree(path: "str | Path", mmap: bool = True,
 
 def save_index(index: "SofaIndex | MessiIndex | TreeIndex",
                path: "str | Path") -> Path:
-    """Save any supported index (wrapper or bare tree) as a snapshot."""
+    """Save any supported index (wrapper, bare tree or dynamic) as a snapshot."""
+    from repro.index.dynamic import DynamicIndex
+
+    if isinstance(index, DynamicIndex):
+        index.save(path)
+        return Path(path)
     if isinstance(index, TreeIndex):
         return save_tree(index, path, index_type="tree")
     for index_type, wrapper_cls in _WRAPPERS.items():
@@ -457,10 +492,13 @@ def load_index(path: "str | Path", mmap: bool = True,
                expected_type: str | None = None):
     """Load a snapshot into the index object it was saved from.
 
-    Returns a :class:`SofaIndex`, :class:`MessiIndex` or bare
-    :class:`TreeIndex` according to the manifest.  ``expected_type`` (one of
-    ``"sofa"``, ``"messi"``, ``"tree"``) makes mismatches a clear error —
-    used by ``SofaIndex.load`` / ``MessiIndex.load``.
+    Returns a :class:`SofaIndex`, :class:`MessiIndex`, bare
+    :class:`TreeIndex` or — for dynamic (mid-ingest) snapshots — a
+    :class:`~repro.index.dynamic.DynamicIndex`, according to the manifest.
+    ``expected_type`` (one of ``"sofa"``, ``"messi"``, ``"tree"``) makes
+    mismatches a clear error — used by ``SofaIndex.load`` /
+    ``MessiIndex.load``.  A static loader refuses a dynamic snapshot with
+    pending writes rather than silently dropping them.
     """
     manifest = read_manifest(path)
     index_type = manifest.get("index_type", "tree")
@@ -469,6 +507,18 @@ def load_index(path: "str | Path", mmap: bool = True,
             f"snapshot {path} holds a '{index_type}' index, not "
             f"'{expected_type}'; use the matching loader or repro.load_index"
         )
+    dynamic_section = manifest.get("dynamic")
+    if dynamic_section is not None:
+        pending = (int(dynamic_section.get("delta_count", 0))
+                   + int(dynamic_section.get("base_dead", 0)))
+        if expected_type is None:
+            return load_dynamic(path, mmap=mmap, manifest=manifest)
+        if pending:
+            raise IndexError_(
+                f"snapshot {path} holds a dynamic index with pending writes "
+                f"(buffered inserts or tombstones); load it with "
+                "DynamicIndex.load or repro.load_index to keep them"
+            )
     tree = load_tree(path, mmap=mmap, manifest=manifest)
     if index_type == "tree":
         return tree
@@ -480,3 +530,81 @@ def load_index(path: "str | Path", mmap: bool = True,
     index.tree = tree
     index._searcher = ExactSearcher(tree)
     return index
+
+
+# ------------------------------------------------------------ dynamic (v2)
+
+
+def save_dynamic(dynamic, path: "str | Path") -> Path:
+    """Write a :class:`~repro.index.dynamic.DynamicIndex` snapshot.
+
+    The base tree is stored exactly like a static snapshot; the delta buffer
+    (values + quantization intervals + aliveness) and the base tombstone set
+    ride along as extra arrays, described by a ``dynamic`` manifest section.
+    """
+    state = dynamic._state
+    delta_count = state.delta_count
+    extra_arrays = {
+        "delta_values": state.delta_values.view,
+        "delta_lower": state.delta_lower.view,
+        "delta_upper": state.delta_upper.view,
+        "delta_alive": state.delta_alive.view,
+        "base_alive": state.base_alive,
+    }
+    extra_manifest = {
+        "dynamic": {
+            "delta_count": delta_count,
+            "base_dead": state.base_dead,
+            "delta_dead": state.delta_dead,
+        },
+    }
+    return save_tree(state.tree, path, index_type=state.index_type,
+                     extra_arrays=extra_arrays, extra_manifest=extra_manifest)
+
+
+def load_dynamic(path: "str | Path", mmap: bool = True,
+                 manifest: dict | None = None, **options):
+    """Load any snapshot into a :class:`~repro.index.dynamic.DynamicIndex`.
+
+    Dynamic (v2) snapshots restore the delta buffer and both tombstone sets
+    — the serving process resumes mid-ingest with the same global row ids.
+    Static snapshots, including every format-v1 snapshot, take the upgrade
+    path: they load as a compacted index with an empty delta.  ``options``
+    are forwarded to the ``DynamicIndex`` constructor.
+    """
+    from repro.index.dynamic import DynamicIndex
+
+    path = Path(path)
+    if manifest is None:
+        manifest = read_manifest(path)
+    index_type = manifest.get("index_type", "tree")
+    tree = load_tree(path, mmap=mmap, manifest=manifest)
+    dynamic_section = manifest.get("dynamic")
+    if dynamic_section is None:
+        # v1 (or static v2) upgrade path: a compacted index, empty delta.
+        word_length = int(np.asarray(tree.summarization.weights).shape[0])
+        return DynamicIndex._restore(
+            tree, index_type,
+            base_alive=np.ones(tree.num_series, dtype=bool),
+            delta_values=np.empty((0, tree.dataset.series_length)),
+            delta_lower=np.empty((0, word_length)),
+            delta_upper=np.empty((0, word_length)),
+            delta_alive=np.empty(0, dtype=bool),
+            **options)
+    arrays = _load_arrays(path, list(_DYNAMIC_ARRAYS), mmap=False)
+    delta_count = int(dynamic_section.get("delta_count",
+                                          arrays["delta_values"].shape[0]))
+    for name in ("delta_values", "delta_lower", "delta_upper", "delta_alive"):
+        if arrays[name].shape[0] != delta_count:
+            raise IndexError_(
+                f"snapshot {path} is corrupt: {name} holds "
+                f"{arrays[name].shape[0]} rows, manifest says {delta_count}"
+            )
+    return DynamicIndex._restore(
+        tree, index_type,
+        base_alive=np.asarray(arrays["base_alive"], dtype=bool),
+        delta_values=np.asarray(arrays["delta_values"], dtype=np.float64),
+        delta_lower=np.asarray(arrays["delta_lower"], dtype=np.float64),
+        delta_upper=np.asarray(arrays["delta_upper"], dtype=np.float64),
+        delta_alive=np.asarray(arrays["delta_alive"], dtype=bool),
+        **options)

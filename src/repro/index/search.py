@@ -25,6 +25,18 @@ Whole query workloads should go through :meth:`ExactSearcher.knn_batch`,
 which delegates to the batched multi-query engine
 (:class:`~repro.index.batch_search.BatchSearcher`): same exact answers,
 several times the throughput once a few dozen queries are batched together.
+
+Both engines optionally fuse a *dynamic overlay* into the refinement loop: a
+:class:`~repro.index.dynamic.DynamicIndex` layers a write path (buffered
+inserts, tombstone deletes) over the read-optimized tree and passes the
+engines a ``delta_source`` callable returning the current
+:class:`~repro.index.dynamic.DeltaView`.  Delta series are lower-bounded with
+the same :func:`~repro.core.simd.batch_lower_bound` kernel as leaf series (so
+pruning applies to them too) and refined as one extra pseudo-leaf right after
+the seed leaf; tombstoned rows have their lower bounds forced to ``+inf``, so
+they are never refined and never enter the answer heap.  Answers over
+*tree ∪ delta − tombstones* stay bit-identical to a scratch rebuild on the
+surviving rows.
 """
 
 from __future__ import annotations
@@ -91,7 +103,7 @@ class SearchResult:
 
 
 def finalize_result(query: np.ndarray, values: np.ndarray, rows: np.ndarray,
-                    stats: SearchStats) -> SearchResult:
+                    stats: SearchStats, delta=None) -> SearchResult:
     """Package the winning rows of a search into a :class:`SearchResult`.
 
     The reported distances come from one final elementwise recomputation over
@@ -100,9 +112,15 @@ def finalize_result(query: np.ndarray, values: np.ndarray, rows: np.ndarray,
     kernel calls, so recomputing on a canonical row order makes per-query and
     batched searches return bit-identical results.  Answers are sorted by
     (distance, row), the same tie order as the refinement heap.
+
+    ``delta`` (a :class:`~repro.index.dynamic.DeltaView`) resolves rows at or
+    beyond the base collection to buffered delta series; the row-wise
+    recomputation is unchanged, so dynamic answers stay bit-identical to a
+    scratch rebuild on the union.
     """
     rows = np.sort(np.asarray(rows, dtype=np.int64))
-    difference = values[rows] - query
+    winners = values[rows] if delta is None else delta.gather(values, rows)
+    difference = winners - query
     squared = np.einsum("ij,ij->i", difference, difference)
     order = np.lexsort((rows, squared))
     return SearchResult(indices=rows[order], distances=np.sqrt(squared[order]),
@@ -162,17 +180,26 @@ class ExactSearcher:
         search uses the crossover 1.5 and :meth:`knn_batch` uses the batched
         engine's higher default (its flat path's fixed cost amortizes over
         the batch); an explicit value is honored by both.
+    delta_source:
+        Optional zero-argument callable returning the current
+        :class:`~repro.index.dynamic.DeltaView` of a dynamic index (or
+        ``None`` when there are no pending writes).  When set, every query
+        answers over *tree ∪ delta − tombstones*: the delta is refined as an
+        extra pseudo-leaf and tombstoned rows are masked out of every
+        refinement step.
     """
 
     #: Default flat-refinement crossover of the per-query engine.
     DEFAULT_FLAT_REFINEMENT_THRESHOLD = 1.5
 
     def __init__(self, index: TreeIndex, normalize_queries: bool = True,
-                 flat_refinement_threshold: float | None = None) -> None:
+                 flat_refinement_threshold: float | None = None,
+                 delta_source=None) -> None:
         if not index.is_built:
             raise SearchError("the index must be built before searching")
         self.index = index
         self.normalize_queries = normalize_queries
+        self._delta_source = delta_source
         self._requested_flat_threshold = flat_refinement_threshold
         self.flat_refinement_threshold = (
             self.DEFAULT_FLAT_REFINEMENT_THRESHOLD
@@ -200,9 +227,12 @@ class ExactSearcher:
         """Exact k nearest neighbours of ``query`` under the (z-)ED."""
         if k < 1:
             raise SearchError(f"k must be >= 1, got {k}")
-        if k > self.index.num_series:
+        delta = self._delta_source() if self._delta_source is not None else None
+        available = self.index.num_series if delta is None else delta.num_surviving
+        if k > available:
             raise SearchError(
-                f"k={k} exceeds the number of indexed series ({self.index.num_series})"
+                f"k={k} exceeds the number of "
+                f"{'indexed' if delta is None else 'surviving'} series ({available})"
             )
         query = np.asarray(query, dtype=np.float64)
         if query.ndim != 1 or query.shape[0] != self.index.dataset.series_length:
@@ -217,7 +247,7 @@ class ExactSearcher:
         query_summary = summarization.transform(query)
         query_word = self._bins.symbols(query_summary)
 
-        stats = SearchStats(num_series=self.index.num_series)
+        stats = SearchStats(num_series=available)
         heap = _KnnHeap(k)
 
         if self.index.average_leaf_size < self.flat_refinement_threshold:
@@ -225,14 +255,19 @@ class ExactSearcher:
             # summary components carry little signal and the root fan-out
             # shatters the data into near-singleton leaves): skip the per-leaf
             # machinery and filter-and-refine over the flat series directory.
-            self._flat_search(query, query_summary, heap, stats)
+            self._flat_search(query, query_summary, heap, stats, delta=delta)
         else:
             start = time.perf_counter()
             seed_leaf = self._approximate_descent(query_word, query_summary)
             if seed_leaf is not None:
                 self._refine_leaf(query, query_summary, seed_leaf, heap, stats,
-                                  record_time=False)
+                                  record_time=False, delta=delta)
             stats.approximate_time = time.perf_counter() - start
+
+            # The delta is one extra pseudo-leaf, refined right after the seed
+            # so its series help tighten the BSF before traversal prunes.
+            if delta is not None:
+                self._refine_delta(query, query_summary, heap, stats, delta)
 
             start = time.perf_counter()
             ordered_leaves, ordered_bounds = self._collect_leaves(
@@ -240,10 +275,11 @@ class ExactSearcher:
             stats.traversal_time = time.perf_counter() - start
 
             self._process_queue(query, query_summary, ordered_leaves, ordered_bounds,
-                                heap, stats)
+                                heap, stats, delta=delta)
 
         rows = np.array([index for _, index in heap.sorted_items()], dtype=np.int64)
-        return finalize_result(query, self.index.dataset.values, rows, stats)
+        return finalize_result(query, self.index.dataset.values, rows, stats,
+                               delta=delta)
 
     def nearest_neighbor(self, query: np.ndarray) -> SearchResult:
         """Exact 1-NN of ``query`` (convenience wrapper around :meth:`knn`)."""
@@ -267,6 +303,11 @@ class ExactSearcher:
             raise SearchError(f"k must be >= 1, got {k}")
         if max_refined_series < k:
             raise SearchError("max_refined_series must be at least k")
+        if self._delta_source is not None and self._delta_source() is not None:
+            raise SearchError(
+                "approximate_knn does not answer over a pending dynamic delta; "
+                "compact() the index first"
+            )
         query = np.asarray(query, dtype=np.float64)
         if query.ndim != 1 or query.shape[0] != self.index.dataset.series_length:
             raise SearchError(
@@ -321,7 +362,8 @@ class ExactSearcher:
             if self._requested_flat_threshold is not None:
                 options["flat_refinement_threshold"] = self._requested_flat_threshold
             self._batch_searcher = BatchSearcher(
-                self.index, normalize_queries=self.normalize_queries, **options)
+                self.index, normalize_queries=self.normalize_queries,
+                delta_source=self._delta_source, **options)
         return self._batch_searcher.knn_batch(queries, k=k, num_workers=num_workers)
 
     # ------------------------------------------------------ approximate NN
@@ -338,7 +380,7 @@ class ExactSearcher:
     # ------------------------------------------------------ flat refinement
 
     def _flat_search(self, query: np.ndarray, query_summary: np.ndarray, heap: _KnnHeap,
-                     stats: SearchStats, block_size: int = 128) -> None:
+                     stats: SearchStats, delta=None, block_size: int = 128) -> None:
         """Filter-and-refine over the flat per-series directory.
 
         The per-series lower bounds are computed in one vectorized call,
@@ -347,9 +389,23 @@ class ExactSearcher:
         between blocks — the same GEMINI logic as the leaf-wise path, without
         per-leaf overhead.  Per-block times are recorded as the parallel work
         items for the virtual-core simulation.
+
+        A dynamic ``delta`` appends its buffered series to the directory for
+        this query (same kernel, global row ids) and masks tombstoned rows to
+        ``+inf`` so they are never refined.
         """
         start = time.perf_counter()
         bounds, rows = self.index.all_series_lower_bounds(query_summary)
+        if delta is not None:
+            if delta.base_alive is not None:
+                # Fresh kernel output per call, so in-place masking is safe.
+                bounds[~delta.base_alive[rows]] = np.inf
+            if delta.rows.size:
+                delta_bounds = batch_lower_bound(query_summary, delta.lower,
+                                                 delta.upper, self._weights)
+                delta_bounds[~delta.alive] = np.inf
+                bounds = np.concatenate([bounds, delta_bounds])
+                rows = np.concatenate([rows, delta.rows])
         order = np.argsort(bounds)
         stats.series_lower_bounds += bounds.shape[0]
         stats.traversal_time = time.perf_counter() - start
@@ -365,7 +421,9 @@ class ExactSearcher:
                 continue
             block_timer = time.perf_counter()
             block_rows = rows[block]
-            squared = squared_euclidean_batch(query, values[block_rows])
+            block_values = (values[block_rows] if delta is None
+                            else delta.gather(values, block_rows))
+            squared = squared_euclidean_batch(query, block_values)
             stats.exact_distances += block.size
             for row, distance in zip(block_rows, squared):
                 heap.offer(float(distance), int(row))
@@ -397,7 +455,7 @@ class ExactSearcher:
 
     def _process_queue(self, query: np.ndarray, query_summary: np.ndarray,
                        ordered_leaves: list[LeafNode], ordered_bounds: np.ndarray,
-                       heap: _KnnHeap, stats: SearchStats) -> None:
+                       heap: _KnnHeap, stats: SearchStats, delta=None) -> None:
         """Visit leaves in lower-bound order and refine them in small groups.
 
         Consecutive small leaves (frequent at reproduction scale, where root
@@ -426,13 +484,14 @@ class ExactSearcher:
                 position += 1
             if len(group) == 1:
                 self._refine_leaf(query, query_summary, group[0], heap, stats,
-                                  record_time=True)
+                                  record_time=True, delta=delta)
             else:
-                self._refine_group(query, query_summary, group, heap, stats)
+                self._refine_group(query, query_summary, group, heap, stats,
+                                   delta=delta)
 
     def _refine_group(self, query: np.ndarray, query_summary: np.ndarray,
                       group: list[LeafNode], heap: _KnnHeap, stats: SearchStats,
-                      block_size: int = 32) -> None:
+                      delta=None, block_size: int = 32) -> None:
         """Refine several leaves with one concatenated batched kernel call."""
         start = time.perf_counter()
         stats.leaves_visited += len(group)
@@ -442,6 +501,8 @@ class ExactSearcher:
         upper = np.vstack([leaf.upper for leaf in group])
         indices = np.concatenate([leaf.indices for leaf in group])
         series_bounds = batch_lower_bound(query_summary, lower, upper, self._weights)
+        if delta is not None and delta.base_alive is not None:
+            series_bounds[~delta.base_alive[indices]] = np.inf
         stats.series_lower_bounds += indices.shape[0]
         candidates = np.flatnonzero(series_bounds < threshold)
         if candidates.size:
@@ -460,9 +521,42 @@ class ExactSearcher:
                     heap.offer(float(distance), int(row))
         stats.leaf_times.append(time.perf_counter() - start)
 
+    def _refine_delta(self, query: np.ndarray, query_summary: np.ndarray,
+                      heap: _KnnHeap, stats: SearchStats, delta,
+                      block_size: int = 32) -> None:
+        """Refine the dynamic delta buffer as one extra pseudo-leaf.
+
+        The buffered series are filtered with the same per-series lower-bound
+        kernel as leaf series — GEMINI pruning applies to the delta too — and
+        tombstoned entries are masked to ``+inf`` so they are never refined.
+        """
+        if delta.rows.size == 0:
+            return
+        start = time.perf_counter()
+        bounds = batch_lower_bound(query_summary, delta.lower, delta.upper,
+                                   self._weights)
+        bounds[~delta.alive] = np.inf
+        stats.series_lower_bounds += delta.rows.shape[0]
+        threshold = heap.threshold
+        candidates = np.flatnonzero(bounds < threshold)
+        if candidates.size:
+            candidates = candidates[np.argsort(bounds[candidates])]
+            for block_start in range(0, candidates.size, block_size):
+                threshold = heap.threshold
+                block = candidates[block_start:block_start + block_size]
+                block = block[bounds[block] < threshold]
+                if block.size == 0:
+                    break
+                rows = delta.rows[block]
+                squared = squared_euclidean_batch(query, delta.values[block])
+                stats.exact_distances += block.size
+                for row, distance in zip(rows, squared):
+                    heap.offer(float(distance), int(row))
+        stats.leaf_times.append(time.perf_counter() - start)
+
     def _refine_leaf(self, query: np.ndarray, query_summary: np.ndarray, leaf: LeafNode,
                      heap: _KnnHeap, stats: SearchStats, record_time: bool,
-                     block_size: int = 32) -> None:
+                     delta=None, block_size: int = 32) -> None:
         """Filter a leaf's series by per-series lower bound, then refine exactly.
 
         Surviving candidates are processed in blocks: each block's true
@@ -477,6 +571,8 @@ class ExactSearcher:
 
         series_bounds = batch_lower_bound(query_summary, leaf.lower, leaf.upper,
                                           self._weights)
+        if delta is not None and delta.base_alive is not None:
+            series_bounds[~delta.base_alive[leaf.indices]] = np.inf
         stats.series_lower_bounds += leaf.size
         candidates = np.flatnonzero(series_bounds < threshold)
         if candidates.size:

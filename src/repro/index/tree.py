@@ -215,6 +215,23 @@ class TreeIndex:
         self.timings = timings
         return self
 
+    def clone_unbuilt(self) -> "TreeIndex":
+        """A fresh, unbuilt tree with this tree's configuration.
+
+        The summarization is cloned *unfitted*
+        (:meth:`~repro.transforms.base.SymbolicSummarization.clone_unfitted`),
+        so building the clone re-learns it on whatever dataset it is given —
+        exactly what a scratch build would do.  Compaction of a dynamic index
+        uses this to merge its delta through the parallel build pipeline while
+        staying bit-identical to a fresh build on the surviving series.
+        """
+        return TreeIndex(self.summarization.clone_unfitted(),
+                         leaf_size=self.leaf_size,
+                         split_policy=self.split_policy,
+                         transform_chunks=self.transform_chunks,
+                         num_workers=self.num_workers,
+                         builder=self.builder)
+
     def _build_leaf_directory(self) -> None:
         """Stack every leaf's node-level intervals for batched query pruning.
 

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import itertools
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -65,6 +66,47 @@ def chunk_indices(total: int, num_chunks: int) -> list[np.ndarray]:
     if num_chunks < 1:
         raise InvalidParameterError("num_chunks must be >= 1")
     return [chunk for chunk in np.array_split(np.arange(total), num_chunks)]
+
+
+class BackgroundTask:
+    """A single function running on a daemon thread, with a captured outcome.
+
+    Used for maintenance work that should overlap with serving — e.g. the
+    dynamic index's background compaction — where a full executor is
+    overkill.  The wrapped function starts immediately; :meth:`wait` joins
+    the thread and either returns the function's result or re-raises the
+    exception it died with, so failures are never silently swallowed.
+    """
+
+    def __init__(self, function: Callable[[], R]) -> None:
+        self._result: R | None = None
+        self._error: BaseException | None = None
+        self._thread = threading.Thread(target=self._run, args=(function,),
+                                        daemon=True)
+        self._thread.start()
+
+    def _run(self, function: Callable[[], R]) -> None:
+        try:
+            self._result = function()
+        except BaseException as error:  # noqa: BLE001 — re-raised in wait()
+            self._error = error
+
+    def done(self) -> bool:
+        """Whether the function has finished (successfully or not)."""
+        return not self._thread.is_alive()
+
+    def wait(self, timeout: "float | None" = None) -> R:
+        """Join the task; return its result or re-raise its exception.
+
+        Raises ``TimeoutError`` if the task is still running after
+        ``timeout`` seconds.
+        """
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("background task did not finish in time")
+        if self._error is not None:
+            raise self._error
+        return self._result
 
 
 class WorkerPool:

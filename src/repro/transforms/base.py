@@ -95,6 +95,18 @@ class SymbolicSummarization(Summarization):
         if self.bins is None or not self.bins.is_fitted or self.weights is None:
             raise NotFittedError(f"{type(self).__name__} must be fitted before use")
 
+    def clone_unfitted(self) -> "SymbolicSummarization":
+        """A fresh, unfitted summarization with this one's configuration.
+
+        Compaction of a dynamic index rebuilds the tree from scratch on the
+        surviving series, which must *re-learn* the summarization on that
+        union (exactly what a fresh build would do) rather than reuse the
+        state fitted on the original collection.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support unfitted cloning"
+        )
+
     # ----------------------------------------------------------- word API
 
     def word(self, series: np.ndarray) -> np.ndarray:

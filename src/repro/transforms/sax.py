@@ -66,6 +66,10 @@ class SAX(SymbolicSummarization):
         self.weights = paa_segment_lengths(self.series_length, self.word_length)
         return self
 
+    def clone_unfitted(self) -> "SAX":
+        """A fresh, unfitted SAX with the same configuration (see base class)."""
+        return SAX(word_length=self.word_length, alphabet_size=self._alphabet_size)
+
     # -------------------------------------------------------- serialization
 
     def snapshot_state(self) -> tuple[dict, dict[str, np.ndarray]]:

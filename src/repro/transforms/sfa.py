@@ -148,6 +148,17 @@ class SFA(SymbolicSummarization):
         if self.selected_components is None or self.bins is None:
             raise NotFittedError("SFA must be fitted before use")
 
+    def clone_unfitted(self) -> "SFA":
+        """A fresh, unfitted SFA with the same configuration (see base class)."""
+        return SFA(word_length=self.word_length,
+                   alphabet_size=self._alphabet_size,
+                   binning=self.binning,
+                   variance_selection=self.variance_selection,
+                   sample_fraction=self.sample_fraction,
+                   num_candidate_coefficients=self.num_candidate_coefficients,
+                   skip_dc=self.skip_dc,
+                   random_state=self.random_state)
+
     # -------------------------------------------------------- serialization
 
     def snapshot_state(self) -> tuple[dict, dict[str, np.ndarray]]:

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.errors import DatasetError
 from repro.core.normalization import is_znormalized
-from repro.core.series import Dataset
+from repro.core.series import Dataset, GrowableArray
 
 
 class TestConstruction:
@@ -109,3 +109,60 @@ class TestSplit:
         second = walk_dataset.split(5, rng=np.random.default_rng(42))
         assert np.allclose(first[0].values, second[0].values)
         assert np.allclose(first[1].values, second[1].values)
+
+
+class TestGrowableArray:
+    def test_starts_empty(self):
+        buffer = GrowableArray((4,))
+        assert len(buffer) == 0
+        assert buffer.view.shape == (0, 4)
+
+    def test_append_returns_start_positions(self):
+        buffer = GrowableArray((3,))
+        assert buffer.append(np.ones((2, 3))) == 0
+        assert buffer.append(np.zeros((5, 3))) == 2
+        assert len(buffer) == 7
+
+    def test_view_is_zero_copy(self):
+        buffer = GrowableArray((2,))
+        buffer.append(np.arange(6, dtype=float).reshape(3, 2))
+        view = buffer.view
+        assert view.base is buffer._data
+        np.testing.assert_array_equal(view, np.arange(6).reshape(3, 2))
+
+    def test_amortized_doubling(self):
+        buffer = GrowableArray((1,))
+        reallocations = 0
+        backing = buffer._data
+        for _ in range(1024):
+            buffer.append(np.zeros((1, 1)))
+            if buffer._data is not backing:
+                reallocations += 1
+                backing = buffer._data
+        # 1024 single-row appends trigger only O(log n) reallocations.
+        assert reallocations <= 10
+        assert buffer.capacity >= 1024
+
+    def test_growth_preserves_earlier_views(self):
+        buffer = GrowableArray((2,))
+        buffer.append(np.full((1, 2), 7.0))
+        early_view = buffer.view
+        buffer.append(np.zeros((100, 2)))  # forces reallocation
+        np.testing.assert_array_equal(early_view, [[7.0, 7.0]])
+
+    def test_single_row_and_scalar_rows(self):
+        matrix = GrowableArray((3,))
+        matrix.append(np.arange(3, dtype=float))  # a bare row is accepted
+        assert matrix.view.shape == (1, 3)
+        flags = GrowableArray((), dtype=bool)
+        flags.append(np.array([True, False]))
+        assert flags.view.tolist() == [True, False]
+
+    def test_shape_mismatch_raises(self):
+        buffer = GrowableArray((4,))
+        with pytest.raises(DatasetError):
+            buffer.append(np.zeros((2, 5)))
+
+    def test_negative_capacity_raises(self):
+        with pytest.raises(DatasetError):
+            GrowableArray((2,), capacity=-1)

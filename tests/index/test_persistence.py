@@ -23,6 +23,7 @@ from repro.core.errors import IndexError_
 from repro.core.series import Dataset
 from repro.datasets.synthetic import random_walk
 from repro.index import persistence
+from repro.index.dynamic import DynamicIndex
 from repro.index.messi import MessiIndex
 from repro.index.search import ExactSearcher
 from repro.index.sofa import SofaIndex
@@ -35,6 +36,12 @@ GOLDEN_SNAPSHOT = DATA_DIR / "golden-messi-v1"
 GOLDEN_EXPECTED = DATA_DIR / "golden-messi-v1.expected.json"
 
 INDEX_CLASSES = {"sofa": SofaIndex, "messi": MessiIndex}
+
+
+@pytest.fixture()
+def expected_golden():
+    with open(GOLDEN_EXPECTED, encoding="utf-8") as handle:
+        return json.load(handle)
 
 
 def _tie_matrix() -> np.ndarray:
@@ -276,30 +283,28 @@ class TestFormatVersioning:
 class TestGoldenSnapshot:
     """The checked-in format-v1 fixture must keep loading and answering."""
 
-    @pytest.fixture(scope="class")
-    def expected(self):
-        with open(GOLDEN_EXPECTED, encoding="utf-8") as handle:
-            return json.load(handle)
-
-    def test_golden_manifest_is_current_version(self):
+    def test_golden_manifest_is_format_v1(self):
+        """The fixture pins format v1; the library must keep reading it."""
         manifest = persistence.read_manifest(GOLDEN_SNAPSHOT)
-        assert manifest["version"] == persistence.FORMAT_VERSION
+        assert manifest["version"] == 1
+        assert manifest["version"] <= persistence.FORMAT_VERSION
         assert manifest["index_type"] == "messi"
+        assert "dynamic" not in manifest  # v1 predates dynamic snapshots
 
     @pytest.mark.parametrize("mmap", [True, False], ids=["mmap", "in-memory"])
-    def test_golden_answers_are_stable(self, expected, mmap):
+    def test_golden_answers_are_stable(self, expected_golden, mmap):
         index = MessiIndex.load(GOLDEN_SNAPSHOT, mmap=mmap)
-        queries = np.asarray(expected["queries"], dtype=np.float64)
-        for k, per_query in expected["answers"].items():
+        queries = np.asarray(expected_golden["queries"], dtype=np.float64)
+        for k, per_query in expected_golden["answers"].items():
             for query, answer in zip(queries, per_query):
                 result = index.knn(query, k=int(k))
                 assert result.indices.tolist() == answer["indices"]
                 np.testing.assert_allclose(result.distances, answer["distances"],
                                            rtol=1e-9, atol=1e-12)
 
-    def test_golden_batch_matches_per_query(self, expected):
+    def test_golden_batch_matches_per_query(self, expected_golden):
         index = MessiIndex.load(GOLDEN_SNAPSHOT)
-        queries = np.asarray(expected["queries"], dtype=np.float64)
+        queries = np.asarray(expected_golden["queries"], dtype=np.float64)
         batched = index.knn_batch(queries, k=3)
         for query, batch_result in zip(queries, batched):
             _assert_same_result(index.knn(query, k=3), batch_result)
@@ -313,3 +318,138 @@ class TestGoldenSnapshot:
         (copy / "manifest.json").write_text(json.dumps(manifest))
         with pytest.raises(IndexError_, match="format version 99"):
             MessiIndex.load(copy)
+
+
+class TestV1UpgradePath:
+    """Format-v1 snapshots load as compacted dynamic indexes (empty delta)."""
+
+    def test_golden_v1_loads_as_compacted_dynamic_index(self, expected_golden):
+        dynamic = DynamicIndex.load(GOLDEN_SNAPSHOT)
+        assert dynamic.index_type == "messi"
+        assert dynamic.delta_count == 0
+        assert dynamic.num_surviving == dynamic.num_base
+        assert not dynamic.needs_compaction
+        queries = np.asarray(expected_golden["queries"], dtype=np.float64)
+        for k, per_query in expected_golden["answers"].items():
+            for query, answer in zip(queries, per_query):
+                result = dynamic.knn(query, k=int(k))
+                assert result.indices.tolist() == answer["indices"]
+                np.testing.assert_allclose(result.distances,
+                                           answer["distances"],
+                                           rtol=1e-9, atol=1e-12)
+
+    def test_upgraded_v1_index_accepts_writes(self, expected_golden):
+        dynamic = DynamicIndex.load(GOLDEN_SNAPSHOT)
+        queries = np.asarray(expected_golden["queries"], dtype=np.float64)
+        inserted = dynamic.insert(queries[0])
+        result = dynamic.knn(queries[0], k=1)
+        assert result.nearest_index == inserted
+        dynamic.delete(inserted)
+        dynamic.delete(0)
+        dynamic.compact()
+        assert dynamic.num_base == len(
+            np.load(GOLDEN_SNAPSHOT / "values.npy")) - 1
+
+    def test_static_v2_snapshot_also_upgrades(self, tmp_path):
+        """A v2 snapshot written by save_index upgrades the same way."""
+        index = MessiIndex(word_length=8, alphabet_size=16,
+                           leaf_size=8).build(random_walk(30, 32, seed=15))
+        index.save(tmp_path / "static")
+        manifest = persistence.read_manifest(tmp_path / "static")
+        assert manifest["version"] == persistence.FORMAT_VERSION
+        dynamic = DynamicIndex.load(tmp_path / "static")
+        assert dynamic.delta_count == 0
+        query = random_walk(1, 32, seed=16)[0]
+        static = index.knn(query, k=3)
+        result = dynamic.knn(query, k=3)
+        assert result.indices.tolist() == static.indices.tolist()
+        assert np.array_equal(result.distances, static.distances)
+
+
+class TestDynamicSnapshots:
+    """Format-v2 snapshots round-trip the delta buffer and tombstones."""
+
+    @pytest.fixture()
+    def mid_ingest(self, tmp_path):
+        base = random_walk(40, 32, seed=17)
+        extra = random_walk(12, 32, seed=18)
+        dynamic = MessiIndex(word_length=8, alphabet_size=16,
+                             leaf_size=8).build(base).dynamic()
+        dynamic.insert_batch(extra)
+        for row in (3, 11, 45):
+            dynamic.delete(row)
+        path = tmp_path / "dynamic"
+        dynamic.save(path)
+        return dynamic, path
+
+    def test_manifest_records_dynamic_section(self, mid_ingest):
+        dynamic, path = mid_ingest
+        manifest = persistence.read_manifest(path)
+        assert manifest["version"] == persistence.FORMAT_VERSION
+        assert manifest["dynamic"] == {"delta_count": 12, "base_dead": 2,
+                                       "delta_dead": 1}
+
+    @pytest.mark.parametrize("mmap", [True, False], ids=["mmap", "in-memory"])
+    def test_round_trip_is_bit_identical(self, mid_ingest, mmap):
+        dynamic, path = mid_ingest
+        loaded = DynamicIndex.load(path, mmap=mmap)
+        assert loaded.num_surviving == dynamic.num_surviving
+        assert loaded.delta_count == dynamic.delta_count
+        queries = random_walk(5, 32, seed=19)
+        for k in (1, 4):
+            loaded_batch = loaded.knn_batch(queries, k=k)
+            saved_batch = dynamic.knn_batch(queries, k=k)
+            for query, loaded_result, saved_result in zip(queries, loaded_batch,
+                                                          saved_batch):
+                _assert_same_result(dynamic.knn(query, k=k),
+                                    loaded.knn(query, k=k))
+                _assert_same_result(saved_result, loaded_result)
+
+    def test_loaded_index_resumes_ingest(self, mid_ingest):
+        """The restart continues mid-ingest: same ids, writes keep working."""
+        dynamic, path = mid_ingest
+        loaded = DynamicIndex.load(path)
+        series = random_walk(1, 32, seed=20)[0]
+        assert loaded.insert(series) == dynamic.insert(series)
+        loaded.delete(0)
+        dynamic.delete(0)
+        assert loaded.num_surviving == dynamic.num_surviving
+        model_mapping = dynamic.compact()
+        loaded_mapping = loaded.compact()
+        assert np.array_equal(model_mapping, loaded_mapping)
+        query = random_walk(1, 32, seed=21)[0]
+        _assert_same_result(dynamic.knn(query, k=3), loaded.knn(query, k=3))
+
+    def test_generic_loader_returns_dynamic_index(self, mid_ingest):
+        _, path = mid_ingest
+        loaded = persistence.load_index(path)
+        assert type(loaded) is DynamicIndex
+
+    def test_static_loader_refuses_pending_writes(self, mid_ingest):
+        _, path = mid_ingest
+        with pytest.raises(IndexError_, match="pending writes"):
+            MessiIndex.load(path)
+        with pytest.raises(IndexError_, match="pending writes"):
+            persistence.load_index(path, expected_type="messi")
+
+    def test_corrupt_delta_row_count_raises(self, mid_ingest):
+        _, path = mid_ingest
+        manifest = json.loads((path / "manifest.json").read_text())
+        manifest["dynamic"]["delta_count"] = 99
+        (path / "manifest.json").write_text(json.dumps(manifest))
+        with pytest.raises(IndexError_, match="corrupt"):
+            DynamicIndex.load(path)
+
+    def test_compacted_dynamic_save_has_no_pending_writes(self, tmp_path):
+        dynamic = MessiIndex(word_length=8, alphabet_size=16, leaf_size=8
+                             ).build(random_walk(20, 32, seed=22)).dynamic()
+        dynamic.insert_batch(random_walk(4, 32, seed=23))
+        dynamic.compact()
+        path = tmp_path / "compacted"
+        dynamic.save(path)
+        manifest = persistence.read_manifest(path)
+        assert manifest["dynamic"] == {"delta_count": 0, "base_dead": 0,
+                                       "delta_dead": 0}
+        # No pending writes, so the static loader accepts it too.
+        static = MessiIndex.load(path)
+        assert static.is_built

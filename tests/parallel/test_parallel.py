@@ -8,6 +8,7 @@ from hypothesis import strategies as st
 from repro.core.errors import InvalidParameterError
 from repro.parallel.pool import (
     NUM_WORKERS_ENV,
+    BackgroundTask,
     WorkerPool,
     chunk_indices,
     default_num_workers,
@@ -211,3 +212,29 @@ def test_schedule_invariants_property(costs, workers):
     assert schedule.makespan >= total / workers - 1e-9
     if costs:
         assert schedule.makespan >= max(costs) - 1e-12
+
+
+class TestBackgroundTask:
+    def test_returns_result(self):
+        task = BackgroundTask(lambda: 41 + 1)
+        assert task.wait(timeout=10.0) == 42
+        assert task.done()
+
+    def test_reraises_failure(self):
+        def boom():
+            raise ValueError("intentional")
+
+        task = BackgroundTask(boom)
+        with pytest.raises(ValueError, match="intentional"):
+            task.wait(timeout=10.0)
+
+    def test_overlaps_with_caller(self):
+        import threading
+
+        gate = threading.Event()
+        task = BackgroundTask(lambda: (gate.wait(10.0), "done")[1])
+        assert not task.done()  # still parked on the gate
+        with pytest.raises(TimeoutError):
+            task.wait(timeout=0.01)
+        gate.set()
+        assert task.wait(timeout=10.0) == "done"
