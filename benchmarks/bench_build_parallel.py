@@ -15,12 +15,11 @@ the two-stage parallel build in :mod:`repro.index.tree`:
 
 from __future__ import annotations
 
-import os
 import time
 
 import numpy as np
 
-from common import bench_leaf_size, bench_num_series, report
+from common import available_cores, bench_leaf_size, bench_num_series, report
 
 from repro.datasets.registry import load_dataset
 from repro.evaluation.reporting import format_table
@@ -45,13 +44,6 @@ SMOKE_SPEEDUP = 1.2
 #: per-item executor dispatch, which costs far more on thousands of subtrees).
 SINGLE_CORE_OVERHEAD = 1.6
 PARALLEL_WORKERS = 4
-
-
-def _available_cores() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux fallback
-        return os.cpu_count() or 1
 
 
 def _median_build(index_cls, builder: str, num_workers: int, index_set):
@@ -81,7 +73,7 @@ def test_build_parallel(benchmark):
     num_series = bench_num_series()
     full_scale = num_series >= FULL_SCALE_SERIES
     required_speedup = FULL_SCALE_SPEEDUP if full_scale else SMOKE_SPEEDUP
-    multi_core = _available_cores() >= 2
+    multi_core = available_cores() >= 2
 
     rows = []
     failures = []
@@ -128,7 +120,7 @@ def test_build_parallel(benchmark):
             if representative is None:
                 representative = (index_cls, index_set)
 
-    cores = _available_cores()
+    cores = available_cores()
     report(f"Parallel build: seed recursive vs vectorized, 1 vs "
            f"{PARALLEL_WORKERS} workers ({num_series} series, "
            f"leaf {bench_leaf_size()}, {cores} hardware core(s))",

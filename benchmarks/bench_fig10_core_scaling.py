@@ -1,55 +1,94 @@
 """Figure 10 — distribution of 1-NN query times across datasets by core count.
 
-The paper's box plots show that SOFA has the lowest median query time at every
-core count, that the tree indexes have a wide spread across datasets (easy
-high-frequency datasets versus hard ones), and that the scan baselines are
-tightly clustered.  This benchmark reports the quartiles of the per-dataset
-mean query times for each method and core count.
+The paper's box plots show how single-query latency falls as cores are added
+to one query's refinement workers, with SOFA keeping the lowest median at
+every core count.  Earlier revisions of this benchmark *replayed* the
+experiment through the virtual-core simulator over single-threaded work-item
+timings; with the intra-query parallel engine the experiment is now
+**measured**: the same exact 1-NN queries are answered at several real
+worker counts (`knn(..., num_workers=n)` draining each query's leaf queue
+against a shared best-so-far) and the distribution of per-dataset mean query
+times is reported per method and worker count.
+
+Asserted shape (robust on any hardware, including single-core CI runners
+where threads cannot reduce wall clock):
+
+* every worker count returns bit-identical answers;
+* SOFA performs no more refinement work than MESSI across the dataset set
+  (median of per-dataset exact-distance counts) — the pruning advantage that
+  produces the paper's lowest-median-everywhere curve.
+
+Absolute speedups are hardware-dependent and are gated separately by
+``bench_query_parallel.py``.
 """
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
-from common import CORE_COUNTS, report
+from common import bench_leaf_size, report
 
 from repro.evaluation.reporting import format_table
 from repro.index.messi import MessiIndex
+from repro.index.sofa import SofaIndex
+
+#: Real worker counts measured per query (the paper sweeps 9/18/36 cores on
+#: a 40-core server; reproduction hardware is smaller).
+WORKER_COUNTS = (1, 2, 4)
+INDEXES = {"MESSI": MessiIndex, "SOFA": SofaIndex}
+K = 1
 
 
-def _per_dataset_means(workload, method, cores):
-    means = {}
-    for record in workload.query_records:
-        if record.method == method and record.cores == cores and record.k == 1:
-            means[record.dataset] = 1000.0 * record.mean_time
-    return np.array(list(means.values()))
+def test_fig10_core_scaling(sweep_suite, benchmark):
+    mean_times: dict[tuple[str, int], dict[str, float]] = {}
+    mean_work: dict[str, dict[str, float]] = {}
+    representative = None
+    for name, (index_set, queries) in sweep_suite.items():
+        for label, index_cls in INDEXES.items():
+            index = index_cls(leaf_size=bench_leaf_size()).build(index_set)
+            reference = None
+            for workers in WORKER_COUNTS:
+                # Warm the engine (and its persistent pool) outside the clock.
+                index.knn(queries.values[0], k=K, num_workers=workers)
+                start = time.perf_counter()
+                results = [index.knn(query, k=K, num_workers=workers)
+                           for query in queries.values]
+                elapsed = (time.perf_counter() - start) / queries.num_series
+                mean_times.setdefault((label, workers), {})[name] = 1000.0 * elapsed
+                if reference is None:
+                    reference = results
+                    mean_work.setdefault(label, {})[name] = float(np.mean(
+                        [result.stats.exact_distances for result in results]))
+                else:
+                    # The core-scaling knob must be purely a wall-clock knob.
+                    for expected, actual in zip(reference, results):
+                        assert np.array_equal(expected.indices, actual.indices)
+                        assert np.array_equal(expected.distances,
+                                              actual.distances)
+            if representative is None:
+                representative = index, queries.values
 
-
-def test_fig10_core_scaling(workload_1nn, benchmark_suite, benchmark):
     rows = []
-    medians = {}
-    spreads = {}
-    for method in ("FAISS", "MESSI", "SOFA", "UCR-SUITE"):
-        for cores in CORE_COUNTS:
-            times = _per_dataset_means(workload_1nn, method, cores)
+    for label in INDEXES:
+        for workers in WORKER_COUNTS:
+            times = np.array(list(mean_times[(label, workers)].values()))
             quartiles = np.percentile(times, [25, 50, 75])
-            medians[(method, cores)] = quartiles[1]
-            spreads[(method, cores)] = (np.max(times) / max(np.min(times), 1e-9))
-            rows.append([method, cores, float(times.min()), float(quartiles[0]),
-                         float(quartiles[1]), float(quartiles[2]), float(times.max())])
+            rows.append([label, workers, float(times.min()), float(quartiles[0]),
+                         float(quartiles[1]), float(quartiles[2]),
+                         float(times.max())])
+    report("Figure 10 — per-dataset 1-NN query time distribution by worker "
+           "count (ms, measured)",
+           format_table(["method", "workers", "min", "q25", "median", "q75",
+                         "max"], rows, float_format="{:.2f}"))
 
-    report("Figure 10 — per-dataset 1-NN query time distribution (ms)",
-           format_table(["method", "cores", "min", "q25", "median", "q75", "max"],
-                        rows, float_format="{:.2f}"))
+    # Paper shape: SOFA's tighter lower bounds mean less refinement work than
+    # MESSI on the same queries — the scale-free driver of its lower medians.
+    sofa_work = float(np.median(list(mean_work["SOFA"].values())))
+    messi_work = float(np.median(list(mean_work["MESSI"].values())))
+    assert sofa_work <= messi_work
 
-    # Paper shape: SOFA has the lowest median everywhere; tree indexes show a
-    # wider spread across datasets than the scan baselines.
-    for cores in CORE_COUNTS:
-        assert medians[("SOFA", cores)] <= medians[("MESSI", cores)]
-        assert medians[("SOFA", cores)] <= medians[("UCR-SUITE", cores)]
-        assert max(spreads[("SOFA", cores)], spreads[("MESSI", cores)]) >= \
-            spreads[("UCR-SUITE", cores)] * 0.5
-
-    index_set, queries = benchmark_suite["SCEDC"]
-    messi = MessiIndex(leaf_size=100).build(index_set)
-    benchmark(lambda: messi.nearest_neighbor(queries[0]))
+    index, query_values = representative
+    benchmark(lambda: index.knn(query_values[0], k=K,
+                                num_workers=WORKER_COUNTS[-1]))

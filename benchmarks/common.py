@@ -22,6 +22,18 @@ import os
 _REPORTS: list[tuple[str, str]] = []
 
 
+def available_cores() -> int:
+    """Hardware cores usable by this process (affinity-aware).
+
+    Shared by every benchmark that switches between multi-core speedup gates
+    and single-core overhead bounds, so all gates agree about the machine.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
 def report(title: str, text: str) -> None:
     """Queue a formatted table for the end-of-run benchmark report."""
     _REPORTS.append((title, text))

@@ -186,7 +186,10 @@ class WorkloadRunner:
         correct = True
         if method in ("SOFA", "MESSI"):
             for row, query in enumerate(queries.values):
-                result = instance.knn(query, k=k)
+                # Pinned to one search worker for the same reason builds are:
+                # the replay needs uncontended single-threaded per-item costs,
+                # whatever REPRO_NUM_WORKERS says.
+                result = instance.knn(query, k=k, num_workers=1)
                 stats = result.stats
                 profiles.append({"serial": stats.approximate_time + stats.traversal_time,
                                  "tasks": list(stats.leaf_times)})

@@ -6,7 +6,10 @@ Two engines answer exact k-NN queries over a built
 
 * :class:`~repro.index.search.ExactSearcher` — one query at a time, the
   paper's exploratory-analysis scenario (``knn`` / ``nearest_neighbor`` /
-  ``approximate_knn``).
+  ``approximate_knn``).  ``knn(..., num_workers=n)`` drains the query's own
+  surviving-leaf queue with ``n`` threads against a shared best-so-far
+  (MESSI-style intra-query parallelism); answers are bit-identical for
+  every worker count.
 * :class:`~repro.index.batch_search.BatchSearcher` — whole query workloads at
   once (``knn_batch``).  It vectorizes the lower-bound kernels and distance
   GEMMs across queries as well as candidates, so throughput-oriented
@@ -15,8 +18,10 @@ Two engines answer exact k-NN queries over a built
   ``ExactSearcher.knn_batch`` and the index wrappers delegate to it.
 
 Prefer the batched engine whenever queries arrive in groups of a few dozen or
-more; prefer the per-query engine for single interactive lookups or when
-per-leaf work-item timings feed the virtual-core simulator.
+more; prefer the per-query engine (with intra-query workers on multi-core
+machines) for single interactive lookups or when per-leaf work-item timings
+feed the virtual-core simulator.  A batch smaller than the worker pool falls
+back to intra-query workers automatically, so no core idles either way.
 
 Both engines can serve a *mutating* collection through
 :class:`~repro.index.dynamic.DynamicIndex`: buffered inserts and tombstone
@@ -39,9 +44,18 @@ from repro.index.persistence import (
     save_index,
     save_tree,
 )
-from repro.index.search import ExactSearcher, SearchResult, SearchStats
+from repro.index.search import (
+    ExactSearcher,
+    SearchResult,
+    SearchStats,
+    SharedKnnHeap,
+)
 from repro.index.sofa import SofaIndex
-from repro.index.stats import IndexStructureStats, compute_structure_stats
+from repro.index.stats import (
+    IndexStructureStats,
+    compute_structure_stats,
+    merge_search_stats,
+)
 from repro.index.tree import BuildTimings, TreeIndex
 
 __all__ = [
@@ -58,6 +72,7 @@ __all__ = [
     "Node",
     "SearchResult",
     "SearchStats",
+    "SharedKnnHeap",
     "SofaIndex",
     "SummaryBuffer",
     "TreeIndex",
@@ -66,6 +81,7 @@ __all__ = [
     "load_dynamic",
     "load_index",
     "load_tree",
+    "merge_search_stats",
     "read_manifest",
     "root_child_word",
     "save_dynamic",

@@ -39,7 +39,12 @@ summing per-query totals recovers the batch wall-clock.
 
 ``knn_batch(..., num_workers=n)`` shards the workload across a
 :class:`~repro.parallel.pool.WorkerPool`; the heavy kernels release the GIL
-inside BLAS, so shards overlap on real cores.
+inside BLAS, so shards overlap on real cores.  When the batch is *smaller*
+than the pool — where query sharding would leave cores idle — the engine
+falls back to the per-query searcher's intra-query parallelism instead: each
+query's own leaf queue is drained by all ``n`` workers against a shared
+best-so-far (see :meth:`repro.index.search.ExactSearcher.knn`), with answers
+bit-identical either way.
 
 Like the per-query engine, the batched engine can fuse a dynamic overlay
 (:class:`~repro.index.dynamic.DeltaView`, provided by a ``delta_source``
@@ -60,9 +65,14 @@ from repro.core.distance import pairwise_squared_euclidean
 from repro.core.errors import SearchError
 from repro.core.normalization import znormalize_batch
 from repro.core.simd import batch_lower_bound_multi, batch_lower_bound_pairs
-from repro.index.search import SearchResult, SearchStats, finalize_result
+from repro.index.search import (
+    ExactSearcher,
+    SearchResult,
+    SearchStats,
+    finalize_result,
+)
 from repro.index.tree import TreeIndex
-from repro.parallel.pool import WorkerPool, chunk_indices
+from repro.parallel.pool import WorkerPool, chunk_indices, resolve_num_workers
 
 #: Cap on ``num_queries x num_series`` cells a single engine pass may hold.
 #: The flat path materializes a few dense matrices of that shape (bounds,
@@ -213,12 +223,21 @@ class BatchSearcher:
         :class:`~repro.index.dynamic.DeltaView` of a dynamic index (or
         ``None`` when there are no pending writes).  When set, every batch
         answers over *tree ∪ delta − tombstones*.
+    intra_searcher:
+        Optional already-configured
+        :class:`~repro.index.search.ExactSearcher` over the same index,
+        used by the small-batch intra-query fallback.  Owners that hold a
+        per-query engine anyway (``ExactSearcher.knn_batch``, the dynamic
+        index's generation state) pass it here so the fallback shares that
+        engine — and its persistent worker pool — instead of building a
+        duplicate; when omitted, one is created lazily on first use.
     """
 
     def __init__(self, index: TreeIndex, normalize_queries: bool = True,
                  flat_refinement_threshold: float = 4.0,
                  group_target: int | None = None, flat_block_size: int = 128,
-                 delta_source=None) -> None:
+                 delta_source=None,
+                 intra_searcher: "ExactSearcher | None" = None) -> None:
         if not index.is_built:
             raise SearchError("the index must be built before searching")
         if group_target is not None and group_target < 1:
@@ -231,6 +250,9 @@ class BatchSearcher:
         self.flat_refinement_threshold = flat_refinement_threshold
         self.group_target = group_target if group_target is not None else max(index.leaf_size, 64)
         self.flat_block_size = flat_block_size
+        # Per-query engine for the intra-query fallback (used when a batch
+        # is smaller than the worker pool); lazily built unless shared in.
+        self._intra_searcher = intra_searcher
         # Hoisted out of the per-shard / per-round paths; re-captured once
         # per batch in case the tree was rebuilt in place (fit assigns fresh
         # weight arrays).
@@ -240,17 +262,21 @@ class BatchSearcher:
     # ------------------------------------------------------------- public
 
     def knn_batch(self, queries: np.ndarray, k: int = 1,
-                  num_workers: int = 1) -> list[SearchResult]:
+                  num_workers: "int | None" = None) -> list[SearchResult]:
         """Exact k nearest neighbours of every query row, answered as a batch.
 
         Returns one :class:`~repro.index.search.SearchResult` per query, in
         input order, identical to calling
         :meth:`~repro.index.search.ExactSearcher.knn` per query.
         ``num_workers > 1`` splits the batch into query shards processed on a
-        thread pool (the BLAS kernels release the GIL).
+        thread pool (the BLAS kernels release the GIL); a batch smaller than
+        the pool is answered query by query with intra-query workers instead,
+        so the spare cores refine leaves rather than idling.  ``None`` means
+        the ``REPRO_NUM_WORKERS`` process default.
         """
         if k < 1:
             raise SearchError(f"k must be >= 1, got {k}")
+        num_workers = resolve_num_workers(num_workers)
         # Capture the dynamic overlay once per batch so every shard (possibly
         # on another pool thread) answers over the same consistent snapshot.
         delta = self._delta_source() if self._delta_source is not None else None
@@ -271,6 +297,18 @@ class BatchSearcher:
         self._summarization = self.index.summarization
         if self._summarization.weights is not self._weights:
             self._weights = self._summarization.weights
+        if num_workers > num_queries:
+            # A batch of 2 on an 8-worker pool would leave 6 workers idle
+            # under query sharding; intra-query parallelism puts every
+            # worker on each query's own leaf queue instead.  Answer
+            # equivalence rests on the established cross-engine contract
+            # (knn_batch == per-query knn): both engines select under the
+            # total order (distance², row) and finalize through the
+            # canonical recompute, which is what the exact-tie property
+            # tests pin down — not on refining every row with one kernel,
+            # since the two engines' kernels have differed since the
+            # batched engine was introduced.
+            return self._intra_query_fallback(queries, k, num_workers, delta)
         # Shard for workers, and in any case keep each pass's dense
         # query x series state under the _MAX_SHARD_CELLS budget.
         cell_cap = max(1, _MAX_SHARD_CELLS // max(1, self.index.num_series))
@@ -285,6 +323,25 @@ class BatchSearcher:
         parts = pool.map(lambda shard: self._search_shard(queries[shard], k, delta),
                          shards)
         return [result for part in parts for result in part]
+
+    def _intra_query_fallback(self, queries: np.ndarray, k: int,
+                              num_workers: int, delta) -> list[SearchResult]:
+        """Answer a small batch query by query with intra-query workers.
+
+        Queries run one after another, each with the full worker pool on its
+        own surviving-leaf queue, over the one delta snapshot captured for
+        the batch.  Owners share their per-query engine through the
+        ``intra_searcher`` constructor parameter; a standalone
+        ``BatchSearcher`` builds one lazily with its own configuration.
+        """
+        searcher = self._intra_searcher
+        if searcher is None:
+            searcher = ExactSearcher(
+                self.index, normalize_queries=self.normalize_queries,
+                flat_refinement_threshold=self.flat_refinement_threshold)
+            self._intra_searcher = searcher
+        return [searcher._knn_under_delta(query, k, num_workers, delta)
+                for query in queries]
 
     # -------------------------------------------------------------- engine
 
@@ -511,6 +568,14 @@ class BatchSearcher:
                         else delta.gather(values, pair_rows))
             difference = gathered - queries[pair_query]
             distances = np.einsum("ij,ij->i", difference, difference)
-        frontier.offer_pairs(pair_query, distances, pair_rows)
+        # Vectorized pre-filter: pairs strictly above their query's current
+        # k-th best can never enter that query's top-k (a pair *at* the
+        # threshold still can, by winning the smaller-row tie-break), so
+        # dropping them shrinks the padded merge rectangle without changing
+        # the retained sets.
+        surviving = distances <= frontier.thresholds(pair_query)
+        if surviving.any():
+            frontier.offer_pairs(pair_query[surviving], distances[surviving],
+                                 pair_rows[surviving])
         for position, query_index in enumerate(unique_queries):
             stats[query_index].exact_distances += int(counts[position])

@@ -140,9 +140,12 @@ class _DynamicState:
         self._rows_cache = np.empty(0, dtype=np.int64)
         self.searcher = ExactSearcher(tree, normalize_queries=normalize_queries,
                                       delta_source=self.capture)
+        # One per-query engine (and one persistent intra-query pool) per
+        # generation: the batched engine's small-batch fallback shares it.
         self.batch_searcher = BatchSearcher(tree,
                                             normalize_queries=normalize_queries,
-                                            delta_source=self.capture)
+                                            delta_source=self.capture,
+                                            intra_searcher=self.searcher)
 
     @property
     def delta_count(self) -> int:
@@ -406,20 +409,25 @@ class DynamicIndex:
 
     # -------------------------------------------------------------- queries
 
-    def knn(self, query: np.ndarray, k: int = 1) -> SearchResult:
+    def knn(self, query: np.ndarray, k: int = 1,
+            num_workers: "int | None" = None) -> SearchResult:
         """Exact k-NN over *tree ∪ delta − tombstones*.
 
         Bit-identical to a scratch rebuild on the surviving rows (answers are
         reported under the same global row ids this index hands out).
+        ``num_workers`` drains the query's leaf queue — with the delta buffer
+        as one more work item — against a shared best-so-far; answers are
+        bit-identical for every worker count, mid-ingest included.
         """
-        return self._state.searcher.knn(query, k=k)
+        return self._state.searcher.knn(query, k=k, num_workers=num_workers)
 
-    def nearest_neighbor(self, query: np.ndarray) -> SearchResult:
+    def nearest_neighbor(self, query: np.ndarray,
+                         num_workers: "int | None" = None) -> SearchResult:
         """Exact 1-NN over the surviving rows."""
-        return self.knn(query, k=1)
+        return self.knn(query, k=1, num_workers=num_workers)
 
     def knn_batch(self, queries: np.ndarray, k: int = 1,
-                  num_workers: int = 1) -> "list[SearchResult]":
+                  num_workers: "int | None" = None) -> "list[SearchResult]":
         """Batched exact k-NN over the surviving rows (same answers as knn)."""
         return self._state.batch_searcher.knn_batch(queries, k=k,
                                                     num_workers=num_workers)

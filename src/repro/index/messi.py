@@ -110,13 +110,21 @@ class MessiIndex:
         self._require_built()
         return DynamicIndex(self, **options)
 
-    def knn(self, query: np.ndarray, k: int = 1) -> SearchResult:
-        """Exact k nearest neighbours of ``query``."""
-        return self._require_built().knn(query, k=k)
+    def knn(self, query: np.ndarray, k: int = 1,
+            num_workers: "int | None" = None) -> SearchResult:
+        """Exact k nearest neighbours of ``query``.
 
-    def nearest_neighbor(self, query: np.ndarray) -> SearchResult:
+        ``num_workers`` threads drain the query's surviving-leaf queue
+        against a shared best-so-far (``None`` = the ``REPRO_NUM_WORKERS``
+        process default); answers are bit-identical for every worker count.
+        """
+        return self._require_built().knn(query, k=k, num_workers=num_workers)
+
+    def nearest_neighbor(self, query: np.ndarray,
+                         num_workers: "int | None" = None) -> SearchResult:
         """Exact nearest neighbour of ``query``."""
-        return self._require_built().nearest_neighbor(query)
+        return self._require_built().nearest_neighbor(query,
+                                                      num_workers=num_workers)
 
     def approximate_knn(self, query: np.ndarray, k: int = 1,
                         max_refined_series: int = 256) -> SearchResult:
@@ -128,11 +136,12 @@ class MessiIndex:
                                                      max_refined_series=max_refined_series)
 
     def knn_batch(self, queries: np.ndarray, k: int = 1,
-                  num_workers: int = 1) -> "list[SearchResult]":
+                  num_workers: "int | None" = None) -> "list[SearchResult]":
         """Exact k-NN for a batch of queries, answered by the batched engine.
 
         See :class:`~repro.index.batch_search.BatchSearcher`; ``num_workers``
-        shards the batch over a thread pool.
+        shards the batch over a thread pool, falling back to intra-query
+        workers when the batch is smaller than the pool.
         """
         return self._require_built().knn_batch(queries, k=k, num_workers=num_workers)
 

@@ -18,13 +18,27 @@ The algorithm follows Section IV-C of the paper:
 
 k-NN uses the same machinery with the BSF being the k-th best distance found
 so far.  The searcher records per-leaf processing costs so the virtual-core
-simulator can estimate multi-worker query times (MESSI assigns priority-queue
-leaves to parallel workers).
+simulator can estimate multi-worker query times.
+
+``knn(..., num_workers=n)`` answers a *single* query with MESSI-style
+intra-query parallelism: after the approximate descent seeds the BSF, the
+lower-bound-ordered surviving-leaf queue is drained by ``n`` threads — each
+runs the same batched lower-bound + blocked ED refinement kernels (NumPy
+releases the GIL inside them) against one shared, thread-safe k-NN heap
+(:class:`SharedKnnHeap`) whose threshold is re-read between blocks, so one
+worker's tightened best-so-far prunes every other worker's remaining work.
+Because the bounded heap retains the k smallest offers under the total order
+(distance², row) regardless of offer order, and this engine refines a given
+row with the same kernel at every worker count, the answers are
+**bit-identical for every worker count**.  ``num_workers=None`` falls back to the ``REPRO_NUM_WORKERS``
+process default, like index construction.
 
 Whole query workloads should go through :meth:`ExactSearcher.knn_batch`,
 which delegates to the batched multi-query engine
 (:class:`~repro.index.batch_search.BatchSearcher`): same exact answers,
 several times the throughput once a few dozen queries are batched together.
+When the batch is smaller than the worker pool, that engine falls back to the
+intra-query parallelism of this module so no core idles.
 
 Both engines optionally fuse a *dynamic overlay* into the refinement loop: a
 :class:`~repro.index.dynamic.DynamicIndex` layers a write path (buffered
@@ -32,34 +46,49 @@ inserts, tombstone deletes) over the read-optimized tree and passes the
 engines a ``delta_source`` callable returning the current
 :class:`~repro.index.dynamic.DeltaView`.  Delta series are lower-bounded with
 the same :func:`~repro.core.simd.batch_lower_bound` kernel as leaf series (so
-pruning applies to them too) and refined as one extra pseudo-leaf right after
-the seed leaf; tombstoned rows have their lower bounds forced to ``+inf``, so
-they are never refined and never enter the answer heap.  Answers over
-*tree ∪ delta − tombstones* stay bit-identical to a scratch rebuild on the
-surviving rows.
+pruning applies to them too) and refined as one extra pseudo-leaf — right
+after the seed leaf sequentially, or as just another work item on the shared
+queue when workers drain it in parallel; tombstoned rows have their lower
+bounds forced to ``+inf``, so they are never refined and never enter the
+answer heap.  Answers over *tree ∪ delta − tombstones* stay bit-identical to
+a scratch rebuild on the surviving rows.
 """
 
 from __future__ import annotations
 
 import heapq
+import threading
 import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.distance import squared_euclidean_batch
+from repro.core.distance import (
+    squared_euclidean_batch,
+    squared_euclidean_batch_abandon,
+)
 from repro.core.errors import SearchError
 from repro.core.normalization import znormalize
 from repro.core.simd import batch_lower_bound
 from repro.index.node import LeafNode
 from repro.index.tree import TreeIndex
+from repro.parallel.pool import WorkerPool, resolve_num_workers
 
 
 @dataclass
 class SearchStats:
-    """Work counters and per-work-item timings of one exact query."""
+    """Work counters and per-work-item timings of one exact query.
+
+    ``num_workers`` records how many threads served the query.  With more
+    than one worker the counters are the deterministic merge (worker order,
+    see :func:`repro.index.stats.merge_search_stats`) of the per-worker
+    reports; ``leaf_times`` then holds per-work-item *CPU* times across all
+    workers, so :attr:`refinement_time` measures aggregate refinement work,
+    not elapsed wall clock.
+    """
 
     num_series: int = 0
+    num_workers: int = 1
     leaves_visited: int = 0
     leaves_pruned_in_queue: int = 0
     nodes_pruned: int = 0
@@ -133,8 +162,9 @@ class _KnnHeap:
     Entries are kept under the total order (distance², index): on tied
     distances the smaller dataset row wins.  A total order makes the retained
     set independent of the order candidates were offered in, which is what
-    lets the batched engine (whose refinement schedule differs) select the
-    same k answers.
+    lets the batched engine (whose refinement schedule differs) and the
+    intra-query parallel engine (whose offer interleaving depends on thread
+    timing) select the same k answers.
     """
 
     def __init__(self, k: int) -> None:
@@ -148,6 +178,19 @@ class _KnnHeap:
         elif entry > self._heap[0]:
             heapq.heapreplace(self._heap, entry)
 
+    def offer_block(self, squared: np.ndarray, rows: np.ndarray) -> None:
+        """Offer a whole candidate block at once.
+
+        The vectorized comparison drops candidates that cannot displace the
+        current k-th best before the per-row Python loop runs; a candidate at
+        exactly the threshold still passes (it can win the smaller-row
+        tie-break under the total order), so the retained set is unchanged —
+        offers above the threshold were no-ops anyway.
+        """
+        surviving = squared <= self.threshold
+        for distance, row in zip(squared[surviving], rows[surviving]):
+            self.offer(float(distance), int(row))
+
     @property
     def threshold(self) -> float:
         """Current BSF: the k-th best squared distance (inf until k answers exist)."""
@@ -158,6 +201,56 @@ class _KnnHeap:
     def sorted_items(self) -> list[tuple[float, int]]:
         return sorted((-negative_squared, -negative_index)
                       for negative_squared, negative_index in self._heap)
+
+
+class SharedKnnHeap:
+    """Thread-safe bounded k-NN heap shared by one query's workers.
+
+    Wraps :class:`_KnnHeap` with a mutex and publishes the current threshold
+    as a plain attribute: workers read it lock-free (an atomic attribute
+    load under the GIL; a stale value is merely a looser bound, and the
+    threshold only ever tightens, so pruning against it stays conservative)
+    and re-read it between refinement blocks — which is how one worker's
+    tightened best-so-far prunes every other worker's remaining work.
+    Because the bounded heap retains the k smallest offers under the total
+    order (distance², row) no matter the offer order, the final contents are
+    independent of thread scheduling: the property the
+    bit-identical-across-worker-counts contract rests on.
+    """
+
+    def __init__(self, k: int) -> None:
+        self._heap = _KnnHeap(k)
+        self._lock = threading.Lock()
+        self._threshold = np.inf
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    def offer_block(self, squared: np.ndarray, rows: np.ndarray) -> None:
+        # Cheap lock-free rejection against the published threshold; the
+        # survivors are re-filtered under the lock by the inner heap's own
+        # (possibly tighter) threshold.
+        surviving = squared <= self._threshold
+        if not surviving.any():
+            return
+        with self._lock:
+            self._heap.offer_block(squared[surviving], rows[surviving])
+            self._threshold = self._heap.threshold
+
+    def sorted_items(self) -> list[tuple[float, int]]:
+        with self._lock:
+            return self._heap.sorted_items()
+
+
+#: Series length at or above which exact refinement switches to the blocked
+#: early-abandoning ED kernel.  For short series the expanded-form BLAS
+#: kernel wins outright; for long series most candidates blow past the BSF
+#: within the first column chunks and abandoning skips the tail.  The choice
+#: depends only on the build, never on the schedule, so every engine and
+#: worker count refines a given row with the same kernel and sees the same
+#: value (part of the bit-identity contract).
+EARLY_ABANDON_MIN_LENGTH = 1024
 
 
 class ExactSearcher:
@@ -187,6 +280,11 @@ class ExactSearcher:
         answers over *tree ∪ delta − tombstones*: the delta is refined as an
         extra pseudo-leaf and tombstoned rows are masked out of every
         refinement step.
+    early_abandon_length:
+        Series length at which refinement switches to the blocked
+        early-abandoning ED kernel
+        (:func:`~repro.core.distance.squared_euclidean_batch_abandon`);
+        ``None`` keeps the default :data:`EARLY_ABANDON_MIN_LENGTH`.
     """
 
     #: Default flat-refinement crossover of the per-query engine.
@@ -194,7 +292,8 @@ class ExactSearcher:
 
     def __init__(self, index: TreeIndex, normalize_queries: bool = True,
                  flat_refinement_threshold: float | None = None,
-                 delta_source=None) -> None:
+                 delta_source=None,
+                 early_abandon_length: int | None = None) -> None:
         if not index.is_built:
             raise SearchError("the index must be built before searching")
         self.index = index
@@ -204,7 +303,14 @@ class ExactSearcher:
         self.flat_refinement_threshold = (
             self.DEFAULT_FLAT_REFINEMENT_THRESHOLD
             if flat_refinement_threshold is None else flat_refinement_threshold)
+        self.early_abandon_length = (EARLY_ABANDON_MIN_LENGTH
+                                     if early_abandon_length is None
+                                     else early_abandon_length)
+        self._early_abandon = (
+            index.dataset.series_length >= self.early_abandon_length)
         self._batch_searcher = None
+        self._intra_pools: dict[int, WorkerPool] = {}
+        self._intra_pools_lock = threading.Lock()
         # Hoisted out of the per-leaf refinement loops: the summarization's
         # bins and lower-bound weights are fixed for a given build, and the
         # chained attribute lookups showed up when profiling refinement
@@ -221,13 +327,50 @@ class ExactSearcher:
         if summarization.weights is not self._weights:
             self._weights = summarization.weights
 
+    def _worker_pool(self, num_workers: int) -> WorkerPool:
+        """The searcher's persistent intra-query pool for one worker count.
+
+        Persistence matters here: one parallel query's whole refinement phase
+        can be shorter than starting threads, so each pool keeps its executor
+        alive between queries.  Pools are cached per worker count so callers
+        that alternate counts (benchmarks, mixed workloads) never churn
+        executors, and creation is locked so concurrent queries on one
+        searcher (the dynamic index serves reads lock-free) cannot race two
+        pools into existence.
+        """
+        pool = self._intra_pools.get(num_workers)
+        if pool is None:
+            with self._intra_pools_lock:
+                pool = self._intra_pools.get(num_workers)
+                if pool is None:
+                    pool = WorkerPool(num_workers, persistent=True)
+                    self._intra_pools[num_workers] = pool
+        return pool
+
     # ------------------------------------------------------------- public
 
-    def knn(self, query: np.ndarray, k: int = 1) -> SearchResult:
-        """Exact k nearest neighbours of ``query`` under the (z-)ED."""
+    def knn(self, query: np.ndarray, k: int = 1,
+            num_workers: "int | None" = None) -> SearchResult:
+        """Exact k nearest neighbours of ``query`` under the (z-)ED.
+
+        ``num_workers`` threads drain the query's own surviving-leaf queue
+        against a shared best-so-far (``None`` = the ``REPRO_NUM_WORKERS``
+        process default), cutting single-query latency on multi-core
+        machines; the answer is bit-identical for every worker count.
+        """
         if k < 1:
             raise SearchError(f"k must be >= 1, got {k}")
+        num_workers = resolve_num_workers(num_workers)
         delta = self._delta_source() if self._delta_source is not None else None
+        return self._knn_under_delta(query, k, num_workers, delta)
+
+    def _knn_under_delta(self, query: np.ndarray, k: int, num_workers: int,
+                         delta) -> SearchResult:
+        """The engine behind :meth:`knn`, with the dynamic overlay pinned.
+
+        The batched engine's intra-query fallback calls this directly so a
+        whole batch answers over one consistent delta snapshot.
+        """
         available = self.index.num_series if delta is None else delta.num_surviving
         if k > available:
             raise SearchError(
@@ -247,43 +390,58 @@ class ExactSearcher:
         query_summary = summarization.transform(query)
         query_word = self._bins.symbols(query_summary)
 
-        stats = SearchStats(num_series=available)
-        heap = _KnnHeap(k)
+        stats = SearchStats(num_series=available, num_workers=num_workers)
+        heap = SharedKnnHeap(k) if num_workers > 1 else _KnnHeap(k)
 
         if self.index.average_leaf_size < self.flat_refinement_threshold:
             # Degenerate tree (typical at reproduction scale when the selected
             # summary components carry little signal and the root fan-out
             # shatters the data into near-singleton leaves): skip the per-leaf
             # machinery and filter-and-refine over the flat series directory.
-            self._flat_search(query, query_summary, heap, stats, delta=delta)
+            if num_workers > 1:
+                self._flat_search_parallel(query, query_summary, heap, stats,
+                                           delta, num_workers)
+            else:
+                self._flat_search(query, query_summary, heap, stats, delta=delta)
         else:
             start = time.perf_counter()
             seed_leaf = self._approximate_descent(query_word, query_summary)
             if seed_leaf is not None:
-                self._refine_leaf(query, query_summary, seed_leaf, heap, stats,
-                                  record_time=False, delta=delta)
+                self._refine_leaves(query, query_summary, [seed_leaf], heap,
+                                    stats, record_time=False, delta=delta)
             stats.approximate_time = time.perf_counter() - start
 
-            # The delta is one extra pseudo-leaf, refined right after the seed
-            # so its series help tighten the BSF before traversal prunes.
-            if delta is not None:
-                self._refine_delta(query, query_summary, heap, stats, delta)
+            if num_workers > 1:
+                start = time.perf_counter()
+                ordered_leaves, ordered_bounds = self._collect_leaves(
+                    query_summary, heap.threshold, stats, skip_leaf=seed_leaf)
+                stats.traversal_time = time.perf_counter() - start
+                self._drain_queue_parallel(query, query_summary, ordered_leaves,
+                                           ordered_bounds, heap, stats, delta,
+                                           num_workers)
+            else:
+                # The delta is one extra pseudo-leaf, refined right after the
+                # seed so its series help tighten the BSF before traversal
+                # prunes.
+                if delta is not None:
+                    self._refine_delta(query, query_summary, heap, stats, delta)
 
-            start = time.perf_counter()
-            ordered_leaves, ordered_bounds = self._collect_leaves(
-                query_summary, heap.threshold, stats, skip_leaf=seed_leaf)
-            stats.traversal_time = time.perf_counter() - start
+                start = time.perf_counter()
+                ordered_leaves, ordered_bounds = self._collect_leaves(
+                    query_summary, heap.threshold, stats, skip_leaf=seed_leaf)
+                stats.traversal_time = time.perf_counter() - start
 
-            self._process_queue(query, query_summary, ordered_leaves, ordered_bounds,
-                                heap, stats, delta=delta)
+                self._process_queue(query, query_summary, ordered_leaves,
+                                    ordered_bounds, heap, stats, delta=delta)
 
         rows = np.array([index for _, index in heap.sorted_items()], dtype=np.int64)
         return finalize_result(query, self.index.dataset.values, rows, stats,
                                delta=delta)
 
-    def nearest_neighbor(self, query: np.ndarray) -> SearchResult:
+    def nearest_neighbor(self, query: np.ndarray,
+                         num_workers: "int | None" = None) -> SearchResult:
         """Exact 1-NN of ``query`` (convenience wrapper around :meth:`knn`)."""
-        return self.knn(query, k=1)
+        return self.knn(query, k=1, num_workers=num_workers)
 
     def approximate_knn(self, query: np.ndarray, k: int = 1,
                         max_refined_series: int = 256) -> SearchResult:
@@ -334,22 +492,23 @@ class ExactSearcher:
         candidate_rows = rows[candidates]
         squared = squared_euclidean_batch(query, self.index.dataset.values[candidate_rows])
         stats.exact_distances += candidate_rows.shape[0]
-        for row, distance in zip(candidate_rows, squared):
-            heap.offer(float(distance), int(row))
+        heap.offer_block(squared, candidate_rows)
         stats.leaf_times.append(time.perf_counter() - start)
 
         rows_ = np.array([index for _, index in heap.sorted_items()], dtype=np.int64)
         return finalize_result(query, self.index.dataset.values, rows_, stats)
 
     def knn_batch(self, queries: np.ndarray, k: int = 1,
-                  num_workers: int = 1) -> list[SearchResult]:
+                  num_workers: "int | None" = None) -> list[SearchResult]:
         """Exact k-NN of a batch of queries (one per row), answered together.
 
         Delegates to the :class:`~repro.index.batch_search.BatchSearcher`,
         which vectorizes lower-bound and distance kernels across the whole
         workload instead of looping over :meth:`knn`; the answers are the same
         exact k-NN sets either way.  ``num_workers > 1`` shards the batch over
-        a thread pool (the underlying BLAS kernels release the GIL).
+        a thread pool (the underlying BLAS kernels release the GIL), falling
+        back to intra-query workers when the batch is smaller than the pool;
+        ``None`` means the ``REPRO_NUM_WORKERS`` process default.
         """
         from repro.index.batch_search import BatchSearcher
 
@@ -361,9 +520,11 @@ class ExactSearcher:
             options = {}
             if self._requested_flat_threshold is not None:
                 options["flat_refinement_threshold"] = self._requested_flat_threshold
+            # This searcher (and its persistent intra-query pool) doubles as
+            # the batched engine's small-batch fallback engine.
             self._batch_searcher = BatchSearcher(
                 self.index, normalize_queries=self.normalize_queries,
-                delta_source=self._delta_source, **options)
+                delta_source=self._delta_source, intra_searcher=self, **options)
         return self._batch_searcher.knn_batch(queries, k=k, num_workers=num_workers)
 
     # ------------------------------------------------------ approximate NN
@@ -379,22 +540,14 @@ class ExactSearcher:
 
     # ------------------------------------------------------ flat refinement
 
-    def _flat_search(self, query: np.ndarray, query_summary: np.ndarray, heap: _KnnHeap,
-                     stats: SearchStats, delta=None, block_size: int = 128) -> None:
-        """Filter-and-refine over the flat per-series directory.
+    def _flat_directory(self, query_summary: np.ndarray, delta
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-series lower bounds and global rows of the flat directory.
 
-        The per-series lower bounds are computed in one vectorized call,
-        candidates are visited in increasing lower-bound order, and true
-        distances are evaluated block-wise with the best-so-far refreshed
-        between blocks — the same GEMINI logic as the leaf-wise path, without
-        per-leaf overhead.  Per-block times are recorded as the parallel work
-        items for the virtual-core simulation.
-
-        A dynamic ``delta`` appends its buffered series to the directory for
-        this query (same kernel, global row ids) and masks tombstoned rows to
-        ``+inf`` so they are never refined.
+        A dynamic ``delta`` appends its buffered series as extra directory
+        entries (same kernel, global row ids) and masks tombstoned rows —
+        base and delta alike — to ``+inf`` so they are never refined.
         """
-        start = time.perf_counter()
         bounds, rows = self.index.all_series_lower_bounds(query_summary)
         if delta is not None:
             if delta.base_alive is not None:
@@ -406,28 +559,67 @@ class ExactSearcher:
                 delta_bounds[~delta.alive] = np.inf
                 bounds = np.concatenate([bounds, delta_bounds])
                 rows = np.concatenate([rows, delta.rows])
-        order = np.argsort(bounds)
+        return bounds, rows
+
+    def _flat_search(self, query: np.ndarray, query_summary: np.ndarray, heap,
+                     stats: SearchStats, delta=None, block_size: int = 128) -> None:
+        """Filter-and-refine over the flat per-series directory.
+
+        The per-series lower bounds are computed in one vectorized call and
+        the candidates refined through the shared blocked best-so-far loop
+        (:meth:`_refine_candidates`) — the same GEMINI logic as the leaf-wise
+        path, without per-leaf overhead.  Per-block times are recorded as the
+        parallel work items for the virtual-core simulation.
+        """
+        start = time.perf_counter()
+        bounds, rows = self._flat_directory(query_summary, delta)
         stats.series_lower_bounds += bounds.shape[0]
         stats.traversal_time = time.perf_counter() - start
 
+        self._refine_candidates(query, rows, bounds,
+                                self._flat_gather(rows, delta), heap, stats,
+                                block_size=block_size, time_blocks=True)
+
+    def _flat_gather(self, rows: np.ndarray, delta):
+        """Value gather over flat-directory candidate positions."""
         values = self.index.dataset.values
-        for block_start in range(0, order.shape[0], block_size):
-            threshold = heap.threshold
-            block = order[block_start:block_start + block_size]
-            block = block[bounds[block] < threshold]
-            if block.size == 0:
-                if np.isfinite(threshold):
-                    break
-                continue
-            block_timer = time.perf_counter()
-            block_rows = rows[block]
-            block_values = (values[block_rows] if delta is None
-                            else delta.gather(values, block_rows))
-            squared = squared_euclidean_batch(query, block_values)
-            stats.exact_distances += block.size
-            for row, distance in zip(block_rows, squared):
-                heap.offer(float(distance), int(row))
-            stats.leaf_times.append(time.perf_counter() - block_timer)
+        if delta is None:
+            return lambda block: values[rows[block]]
+        return lambda block: delta.gather(values, rows[block])
+
+    def _flat_search_parallel(self, query: np.ndarray, query_summary: np.ndarray,
+                              heap: SharedKnnHeap, stats: SearchStats, delta,
+                              num_workers: int, block_size: int = 128) -> None:
+        """Flat filter-and-refine with the sorted directory drained by workers.
+
+        Same bounds and candidates as :meth:`_flat_search`; the bound-sorted
+        directory is cut into fixed blocks which workers claim in
+        ascending-bound order, so the earliest blocks tighten the shared
+        best-so-far and later blocks are pruned by the threshold re-reads of
+        the shared refinement loop — each claimed block goes through the same
+        :meth:`_refine_candidates` helper as every other candidate source.
+        """
+        from repro.index.stats import merge_search_stats
+
+        start = time.perf_counter()
+        bounds, rows = self._flat_directory(query_summary, delta)
+        candidates = np.flatnonzero(bounds < np.inf)
+        order = candidates[np.argsort(bounds[candidates])]
+        stats.series_lower_bounds += bounds.shape[0]
+        stats.traversal_time = time.perf_counter() - start
+
+        gather = self._flat_gather(rows, delta)
+        blocks = [order[position:position + block_size]
+                  for position in range(0, order.size, block_size)]
+
+        def process(block: np.ndarray, worker_stats: SearchStats) -> None:
+            self._refine_candidates(query, rows[block], bounds[block],
+                                    lambda selected: gather(block[selected]),
+                                    heap, worker_stats,
+                                    block_size=block_size, time_blocks=True)
+
+        merge_search_stats(stats, self._worker_pool(num_workers).map_shared(
+            process, blocks, make_state=SearchStats))
 
     # -------------------------------------------------------- leaf queueing
 
@@ -438,11 +630,12 @@ class ExactSearcher:
 
         All leaf lower bounds come from one vectorized kernel call over the
         index's leaf directory; surviving leaves are returned sorted by lower
-        bound, which plays the role of MESSI's priority queues in this
-        sequential implementation.
+        bound, which plays the role of MESSI's priority queues — drained
+        sequentially by :meth:`_process_queue` or by the worker threads of
+        :meth:`_drain_queue_parallel`.
         """
         bounds = self.index.leaf_lower_bounds(query_summary)
-        surviving = np.flatnonzero(bounds < best_so_far)
+        surviving = np.flatnonzero(self._admissible(bounds, best_so_far))
         stats.nodes_pruned += len(self.index.leaf_nodes) - surviving.size
         if skip_leaf is not None:
             surviving = surviving[surviving != self.index.leaf_position(skip_leaf)]
@@ -453,9 +646,86 @@ class ExactSearcher:
 
     # ----------------------------------------------------------- refinement
 
+    @staticmethod
+    def _admissible(bounds: np.ndarray, threshold: float) -> np.ndarray:
+        """Mask of candidates that may still contain an answer.
+
+        A candidate whose lower bound *equals* the threshold is kept: its
+        true distance can equal the k-th best exactly, in which case it can
+        still win the smaller-row tie-break under the total order.  Keeping
+        it is what makes pruning against the live shared threshold
+        schedule-independent — a true top-k candidate has
+        ``bound <= distance <= final threshold <= current threshold`` and
+        therefore can never be dropped, no matter which worker tightened the
+        threshold first; with a strict filter, a tie candidate's fate would
+        depend on thread timing.  ``+inf`` bounds (masked tombstones) are
+        always excluded, even while the threshold is still infinite.
+        """
+        if np.isfinite(threshold):
+            return bounds <= threshold
+        return bounds < np.inf
+
+    def _exact_block(self, query: np.ndarray, values: np.ndarray,
+                     threshold: float) -> np.ndarray:
+        """True squared distances of one refinement block.
+
+        Long series (``early_abandon_length`` and up) use the blocked
+        early-abandoning kernel: rows whose partial sum already exceeds the
+        best-so-far stop accumulating, and their (already disqualifying)
+        partial sums are dropped by the heap's ``<= threshold`` pre-filter.
+        The kernel choice depends only on the build, never on the schedule,
+        so every worker count sees identical values for a given row.
+        """
+        if self._early_abandon:
+            return squared_euclidean_batch_abandon(query, values, threshold)
+        return squared_euclidean_batch(query, values)
+
+    def _refine_candidates(self, query: np.ndarray, rows: np.ndarray,
+                           bounds: np.ndarray, gather, heap,
+                           stats: SearchStats, block_size: int = 32,
+                           time_blocks: bool = False) -> None:
+        """Blocked best-so-far refinement shared by every candidate source.
+
+        This is the one copy of the BSF-refresh loop that used to be
+        duplicated across the leaf, group and delta refinement paths:
+        candidates whose lower bound beats the (possibly shared) heap's
+        threshold are visited most-promising-first in blocks; each block
+        costs one batched ED kernel call, the threshold is re-read between
+        blocks so the remaining tail can be abandoned wholesale (the blend
+        of vectorization and early abandoning of Algorithm 3), and only
+        survivors of the heap's vectorized ``<= threshold`` pre-filter reach
+        the per-row offer loop.
+
+        ``rows`` holds the candidates' global row ids, ``bounds`` their lower
+        bounds, and ``gather(block)`` returns the series values of candidate
+        positions ``block``.  ``time_blocks`` records one work-item time per
+        block (the flat path's virtual-core granularity) instead of leaving
+        timing to the caller.
+        """
+        threshold = heap.threshold
+        candidates = np.flatnonzero(self._admissible(bounds, threshold))
+        if candidates.size == 0:
+            return
+        # Visit the most promising candidates first so the BSF tightens fast.
+        candidates = candidates[np.argsort(bounds[candidates])]
+        for block_start in range(0, candidates.size, block_size):
+            threshold = heap.threshold
+            block = candidates[block_start:block_start + block_size]
+            block = block[self._admissible(bounds[block], threshold)]
+            if block.size == 0:
+                # Candidates are ordered by lower bound, so everything that
+                # remains is at least as far away: abandon it wholesale.
+                break
+            block_timer = time.perf_counter() if time_blocks else 0.0
+            squared = self._exact_block(query, gather(block), threshold)
+            stats.exact_distances += block.size
+            heap.offer_block(squared, rows[block])
+            if time_blocks:
+                stats.leaf_times.append(time.perf_counter() - block_timer)
+
     def _process_queue(self, query: np.ndarray, query_summary: np.ndarray,
                        ordered_leaves: list[LeafNode], ordered_bounds: np.ndarray,
-                       heap: _KnnHeap, stats: SearchStats, delta=None) -> None:
+                       heap, stats: SearchStats, delta=None) -> None:
         """Visit leaves in lower-bound order and refine them in small groups.
 
         Consecutive small leaves (frequent at reproduction scale, where root
@@ -464,66 +734,128 @@ class ExactSearcher:
         one call per leaf; the best-so-far is refreshed between groups, which
         preserves MESSI's early-abandoning behaviour.
         """
-        group_target = max(self.index.leaf_size, 64)
         position = 0
         total = len(ordered_leaves)
         while position < total:
             threshold = heap.threshold
-            if ordered_bounds[position] >= threshold:
-                # Leaves are ordered by lower bound, so everything that remains
-                # is at least as far away: abandon it wholesale.
+            if ordered_bounds[position] > threshold:
+                # Leaves are ordered by lower bound, so everything that
+                # remains is strictly farther away: abandon it wholesale.  A
+                # leaf *at* the threshold is still refined — it can hold a
+                # smaller-row tie winner (see ``_admissible``).
                 stats.leaves_pruned_in_queue += total - position
                 return
-            group = [ordered_leaves[position]]
-            group_size = group[0].size
+            group, position = self._take_group(ordered_leaves, ordered_bounds,
+                                               position, threshold)
+            self._refine_leaves(query, query_summary, group, heap, stats,
+                                record_time=True, delta=delta)
+
+    def _take_group(self, ordered_leaves: list[LeafNode],
+                    ordered_bounds: np.ndarray, position: int,
+                    threshold: float = np.inf
+                    ) -> tuple[list[LeafNode], int]:
+        """Accumulate consecutive queue leaves into one refinement group.
+
+        The single copy of the grouping rule shared by the sequential queue
+        walk (which caps the group at the live ``threshold``) and the
+        parallel work-item builder (which passes ``inf`` — its items are
+        fixed up front and pruned at claim time instead): consecutive
+        leaves are taken until the group reaches the size target, so small
+        leaves share one batched kernel call.
+        """
+        group_target = max(self.index.leaf_size, 64)
+        total = len(ordered_leaves)
+        group = [ordered_leaves[position]]
+        group_size = group[0].size
+        position += 1
+        while (position < total and group_size < group_target
+               and ordered_bounds[position] <= threshold):
+            group.append(ordered_leaves[position])
+            group_size += ordered_leaves[position].size
             position += 1
-            while (position < total and group_size < group_target
-                   and ordered_bounds[position] < threshold):
-                group.append(ordered_leaves[position])
-                group_size += ordered_leaves[position].size
-                position += 1
-            if len(group) == 1:
-                self._refine_leaf(query, query_summary, group[0], heap, stats,
-                                  record_time=True, delta=delta)
-            else:
-                self._refine_group(query, query_summary, group, heap, stats,
-                                   delta=delta)
+        return group, position
 
-    def _refine_group(self, query: np.ndarray, query_summary: np.ndarray,
-                      group: list[LeafNode], heap: _KnnHeap, stats: SearchStats,
-                      delta=None, block_size: int = 32) -> None:
-        """Refine several leaves with one concatenated batched kernel call."""
+    def _drain_queue_parallel(self, query: np.ndarray, query_summary: np.ndarray,
+                              ordered_leaves: list[LeafNode],
+                              ordered_bounds: np.ndarray, heap: SharedKnnHeap,
+                              stats: SearchStats, delta,
+                              num_workers: int) -> None:
+        """Drain the lower-bound-ordered leaf queue with ``num_workers`` threads.
+
+        The queue is cut into work items up front — static groups of
+        consecutive leaves built to the same size target as the sequential
+        grouping (but fixed in advance rather than re-grouped under the live
+        threshold), with the dynamic delta pseudo-leaf as just another item
+        at the head of the queue.  Workers claim items most-promising-first
+        and re-check the shared best-so-far at claim time and between
+        refinement blocks, so one worker's tightened threshold prunes every
+        other worker's remaining work — the MESSI refinement structure the
+        paper's Figure 10 core scaling measures.  Per-worker stats are merged
+        in worker order (deterministic, independent of completion timing).
+        """
+        from repro.index.stats import merge_search_stats
+
+        items: list["tuple[float, list[LeafNode]] | None"] = []
+        if delta is not None and delta.rows.size:
+            items.append(None)  # the delta pseudo-leaf rides the same queue
+        position = 0
+        while position < len(ordered_leaves):
+            min_bound = float(ordered_bounds[position])
+            group, position = self._take_group(ordered_leaves, ordered_bounds,
+                                               position)
+            items.append((min_bound, group))
+
+        def process(item, worker_stats: SearchStats) -> None:
+            if item is None:
+                self._refine_delta(query, query_summary, heap, worker_stats,
+                                   delta)
+                return
+            min_bound, group = item
+            if min_bound > heap.threshold:
+                # Strictly worse than the shared BSF; a group *at* the
+                # threshold may hold a smaller-row tie winner and is refined
+                # (see ``_admissible`` for why this is what keeps answers
+                # schedule-independent).
+                worker_stats.leaves_pruned_in_queue += len(group)
+                return
+            self._refine_leaves(query, query_summary, group, heap, worker_stats,
+                                record_time=True, delta=delta)
+
+        merge_search_stats(stats, self._worker_pool(num_workers).map_shared(
+            process, items, make_state=SearchStats))
+
+    def _refine_leaves(self, query: np.ndarray, query_summary: np.ndarray,
+                       leaves: list[LeafNode], heap, stats: SearchStats,
+                       record_time: bool, delta=None) -> None:
+        """Filter leaves by per-series lower bound, then refine exactly.
+
+        One leaf or a whole group: several consecutive small leaves cost one
+        concatenated lower-bound kernel call rather than one per leaf, and
+        the surviving candidates go through the shared blocked refinement
+        loop (:meth:`_refine_candidates`).
+        """
         start = time.perf_counter()
-        stats.leaves_visited += len(group)
-        threshold = heap.threshold
-
-        lower = np.vstack([leaf.lower for leaf in group])
-        upper = np.vstack([leaf.upper for leaf in group])
-        indices = np.concatenate([leaf.indices for leaf in group])
-        series_bounds = batch_lower_bound(query_summary, lower, upper, self._weights)
+        stats.leaves_visited += len(leaves)
+        if len(leaves) == 1:
+            leaf = leaves[0]
+            lower, upper, indices = leaf.lower, leaf.upper, leaf.indices
+        else:
+            lower = np.vstack([leaf.lower for leaf in leaves])
+            upper = np.vstack([leaf.upper for leaf in leaves])
+            indices = np.concatenate([leaf.indices for leaf in leaves])
+        bounds = batch_lower_bound(query_summary, lower, upper, self._weights)
         if delta is not None and delta.base_alive is not None:
-            series_bounds[~delta.base_alive[indices]] = np.inf
+            bounds[~delta.base_alive[indices]] = np.inf
         stats.series_lower_bounds += indices.shape[0]
-        candidates = np.flatnonzero(series_bounds < threshold)
-        if candidates.size:
-            candidates = candidates[np.argsort(series_bounds[candidates])]
-            values = self.index.dataset.values
-            for block_start in range(0, candidates.size, block_size):
-                threshold = heap.threshold
-                block = candidates[block_start:block_start + block_size]
-                block = block[series_bounds[block] < threshold]
-                if block.size == 0:
-                    break
-                rows = indices[block]
-                squared = squared_euclidean_batch(query, values[rows])
-                stats.exact_distances += block.size
-                for row, distance in zip(rows, squared):
-                    heap.offer(float(distance), int(row))
-        stats.leaf_times.append(time.perf_counter() - start)
+        values = self.index.dataset.values
+        self._refine_candidates(query, indices, bounds,
+                                lambda block: values[indices[block]],
+                                heap, stats)
+        if record_time:
+            stats.leaf_times.append(time.perf_counter() - start)
 
     def _refine_delta(self, query: np.ndarray, query_summary: np.ndarray,
-                      heap: _KnnHeap, stats: SearchStats, delta,
-                      block_size: int = 32) -> None:
+                      heap, stats: SearchStats, delta) -> None:
         """Refine the dynamic delta buffer as one extra pseudo-leaf.
 
         The buffered series are filtered with the same per-series lower-bound
@@ -537,59 +869,6 @@ class ExactSearcher:
                                    self._weights)
         bounds[~delta.alive] = np.inf
         stats.series_lower_bounds += delta.rows.shape[0]
-        threshold = heap.threshold
-        candidates = np.flatnonzero(bounds < threshold)
-        if candidates.size:
-            candidates = candidates[np.argsort(bounds[candidates])]
-            for block_start in range(0, candidates.size, block_size):
-                threshold = heap.threshold
-                block = candidates[block_start:block_start + block_size]
-                block = block[bounds[block] < threshold]
-                if block.size == 0:
-                    break
-                rows = delta.rows[block]
-                squared = squared_euclidean_batch(query, delta.values[block])
-                stats.exact_distances += block.size
-                for row, distance in zip(rows, squared):
-                    heap.offer(float(distance), int(row))
+        self._refine_candidates(query, delta.rows, bounds,
+                                lambda block: delta.values[block], heap, stats)
         stats.leaf_times.append(time.perf_counter() - start)
-
-    def _refine_leaf(self, query: np.ndarray, query_summary: np.ndarray, leaf: LeafNode,
-                     heap: _KnnHeap, stats: SearchStats, record_time: bool,
-                     delta=None, block_size: int = 32) -> None:
-        """Filter a leaf's series by per-series lower bound, then refine exactly.
-
-        Surviving candidates are processed in blocks: each block's true
-        distances come from one batched kernel call (the NumPy stand-in for the
-        SIMD distance kernel), and the best-so-far is refreshed between blocks
-        so later blocks can be abandoned wholesale — the same blend of
-        vectorization and early abandoning as Algorithm 3.
-        """
-        start = time.perf_counter()
-        stats.leaves_visited += 1
-        threshold = heap.threshold
-
-        series_bounds = batch_lower_bound(query_summary, leaf.lower, leaf.upper,
-                                          self._weights)
-        if delta is not None and delta.base_alive is not None:
-            series_bounds[~delta.base_alive[leaf.indices]] = np.inf
-        stats.series_lower_bounds += leaf.size
-        candidates = np.flatnonzero(series_bounds < threshold)
-        if candidates.size:
-            # Visit the most promising candidates first so the BSF tightens fast.
-            candidates = candidates[np.argsort(series_bounds[candidates])]
-            values = self.index.dataset.values
-            for block_start in range(0, candidates.size, block_size):
-                threshold = heap.threshold
-                block = candidates[block_start:block_start + block_size]
-                block = block[series_bounds[block] < threshold]
-                if block.size == 0:
-                    break
-                rows = leaf.indices[block]
-                squared = squared_euclidean_batch(query, values[rows])
-                stats.exact_distances += block.size
-                for row, distance in zip(rows, squared):
-                    heap.offer(float(distance), int(row))
-        elapsed = time.perf_counter() - start
-        if record_time:
-            stats.leaf_times.append(elapsed)

@@ -1,13 +1,44 @@
-"""Structural statistics of a built tree index (Figure 8 of the paper)."""
+"""Index statistics: tree structure metrics (Figure 8) and search-stats merging."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
 
 import numpy as np
 
 from repro.core.errors import IndexError_
 from repro.index.tree import TreeIndex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (search imports stats lazily)
+    from repro.index.search import SearchStats
+
+
+def merge_search_stats(into: "SearchStats",
+                       parts: "Iterable[SearchStats]") -> "SearchStats":
+    """Merge per-worker search stats into one deterministic query report.
+
+    The intra-query parallel engine gives every worker thread its own
+    :class:`~repro.index.search.SearchStats` so the hot refinement loop never
+    contends on shared counters; this merge folds them into the query-level
+    report afterwards.  ``parts`` must be ordered by worker index (as
+    :meth:`~repro.parallel.pool.WorkerPool.map_shared` returns them), never
+    by completion time, so the merge *procedure* is deterministic.  The
+    merged values themselves still reflect one concurrent run — which worker
+    claimed which item, and how much work BSF pruning saved, depend on
+    thread timing — which is why the virtual-core simulator is only fed
+    stats from 1-worker searches.  Counters sum; per-work-item times
+    concatenate; the sequential phases (``approximate_time``,
+    ``traversal_time``) belong to ``into`` and are left untouched.
+    """
+    for part in parts:
+        into.leaves_visited += part.leaves_visited
+        into.leaves_pruned_in_queue += part.leaves_pruned_in_queue
+        into.nodes_pruned += part.nodes_pruned
+        into.series_lower_bounds += part.series_lower_bounds
+        into.exact_distances += part.exact_distances
+        into.leaf_times.extend(part.leaf_times)
+    return into
 
 
 @dataclass

@@ -20,6 +20,7 @@ from repro.core.errors import InvalidParameterError
 
 T = TypeVar("T")
 R = TypeVar("R")
+S = TypeVar("S")
 
 #: Environment variable that sets the default worker count of every component
 #: that accepts ``num_workers=None`` (index construction, CI matrix runs).
@@ -116,10 +117,51 @@ class WorkerPool:
     are deterministic and easy to profile.  ``num_workers=None`` falls back to
     the process default (:func:`default_num_workers`, settable through the
     ``REPRO_NUM_WORKERS`` environment variable).
+
+    ``persistent=True`` keeps one executor alive across calls instead of
+    spawning threads per call.  Per-call thread startup is irrelevant for
+    index builds (milliseconds against seconds) but dominates for the
+    intra-query search engine, whose whole parallel section can be shorter
+    than starting four threads; the persistent executor turns each call into
+    a handful of queue operations.  The idle threads exit when the pool is
+    garbage-collected (the executor's worker loop watches a weak reference),
+    so abandoned searchers do not leak threads forever.
     """
 
-    def __init__(self, num_workers: "int | None" = 1) -> None:
+    def __init__(self, num_workers: "int | None" = 1,
+                 persistent: bool = False) -> None:
         self.num_workers = resolve_num_workers(num_workers)
+        self.persistent = bool(persistent)
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        """The persistent executor, created once (locked against racing callers)."""
+        executor = self._executor
+        if executor is None:
+            with self._executor_lock:
+                executor = self._executor
+                if executor is None:
+                    executor = ThreadPoolExecutor(
+                        max_workers=self.num_workers,
+                        thread_name_prefix="repro-pool")
+                    self._executor = executor
+        return executor
+
+    def _run_drains(self, drain: Callable[[], R], num_threads: int) -> list[R]:
+        """Run ``num_threads`` copies of ``drain``, returning their results.
+
+        The results are ordered by worker index (submission order), never by
+        completion order, so callers can merge per-worker state
+        deterministically.
+        """
+        if self.persistent:
+            executor = self._ensure_executor()
+            futures = [executor.submit(drain) for _ in range(num_threads)]
+            return [future.result() for future in futures]
+        with ThreadPoolExecutor(max_workers=num_threads) as executor:
+            futures = [executor.submit(drain) for _ in range(num_threads)]
+            return [future.result() for future in futures]
 
     def map(self, function: Callable[[T], R], items: Sequence[T] | Iterable[T]) -> list[R]:
         """Apply ``function`` to every item, preserving order.
@@ -145,12 +187,49 @@ class WorkerPool:
                     return
                 results[position] = function(items[position])
 
-        num_threads = min(self.num_workers, len(items))
-        with ThreadPoolExecutor(max_workers=num_threads) as executor:
-            futures = [executor.submit(drain) for _ in range(num_threads)]
-            for future in futures:
-                future.result()
+        self._run_drains(drain, min(self.num_workers, len(items)))
         return results
+
+    def map_shared(self, function: Callable[[T, S], None],
+                   items: Sequence[T] | Iterable[T], *,
+                   make_state: Callable[[], S],
+                   chunk_size: int = 1) -> list[S]:
+        """Chunked work-stealing drain over shared mutable state.
+
+        Up to ``num_workers`` threads each create a private ``make_state()``
+        and repeatedly claim the next unclaimed chunk of ``chunk_size``
+        consecutive items, calling ``function(item, state)`` for each.
+        Chunks are claimed in input order, so a work queue sorted
+        most-promising-first (e.g. the exact searcher's lower-bound-ordered
+        leaf queue) is drained in that order across workers.  Cross-worker
+        communication happens through whatever shared structures ``function``
+        closes over (e.g. a shared best-so-far heap); the pool only
+        guarantees that every item is processed exactly once and that the
+        returned per-worker states are ordered by worker index — a
+        deterministic merge order independent of thread completion timing.
+        """
+        if chunk_size < 1:
+            raise InvalidParameterError(
+                f"chunk_size must be >= 1, got {chunk_size}")
+        items = list(items)
+        if self.num_workers == 1 or len(items) <= 1:
+            state = make_state()
+            for item in items:
+                function(item, state)
+            return [state]
+        num_chunks = -(-len(items) // chunk_size)
+        tickets = itertools.count()
+
+        def drain() -> S:
+            state = make_state()
+            while True:
+                chunk = next(tickets)
+                if chunk >= num_chunks:
+                    return state
+                for item in items[chunk * chunk_size:(chunk + 1) * chunk_size]:
+                    function(item, state)
+
+        return self._run_drains(drain, min(self.num_workers, num_chunks))
 
     def starmap(self, function: Callable[..., R], argument_tuples: Iterable[tuple]) -> list[R]:
         """Apply ``function`` to every argument tuple, preserving order."""

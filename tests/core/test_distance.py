@@ -11,6 +11,7 @@ from repro.core.distance import (
     pairwise_squared_euclidean,
     squared_euclidean,
     squared_euclidean_batch,
+    squared_euclidean_batch_abandon,
     squared_euclidean_early_abandon,
     znormalized_euclidean,
 )
@@ -112,6 +113,79 @@ class TestBatchDistances:
     def test_pairwise_shape_validation(self):
         with pytest.raises(ValueError):
             pairwise_squared_euclidean(np.zeros((2, 3)), np.zeros((4, 5)))
+
+
+class TestBatchAbandon:
+    """The blocked early-abandoning batch kernel (long-series refinement)."""
+
+    def test_infinite_threshold_matches_plain_kernel(self):
+        rng = np.random.default_rng(9)
+        query = rng.standard_normal(300)
+        collection = rng.standard_normal((25, 300))
+        abandoned = squared_euclidean_batch_abandon(query, collection, np.inf)
+        assert np.allclose(abandoned, squared_euclidean_batch(query, collection),
+                           atol=1e-9)
+
+    def test_survivors_exact_and_abandoned_above_threshold(self):
+        rng = np.random.default_rng(10)
+        query = rng.standard_normal(400)
+        collection = rng.standard_normal((60, 400))
+        true = squared_euclidean_batch(query, collection)
+        threshold = float(np.median(true))
+        result = squared_euclidean_batch_abandon(query, collection, threshold,
+                                                 chunk=32)
+        for value, exact in zip(result, true):
+            if value <= threshold:
+                assert value == pytest.approx(exact, rel=1e-12)
+            else:
+                assert value > threshold  # disqualified, exact value not needed
+
+    def test_survivor_values_do_not_depend_on_threshold_or_blocking(self):
+        """The bit-identity contract: a surviving row's value is a function of
+        (query, row) alone — not of the threshold, nor of the other rows in
+        the call."""
+        rng = np.random.default_rng(11)
+        query = rng.standard_normal(512)
+        collection = rng.standard_normal((40, 512))
+        loose = squared_euclidean_batch_abandon(query, collection, np.inf)
+        true_order = np.argsort(loose)
+        tight = squared_euclidean_batch_abandon(query, collection,
+                                                float(loose[true_order[10]]))
+        surviving = tight <= loose[true_order[10]]
+        assert surviving.any()
+        assert np.array_equal(tight[surviving], loose[surviving])
+        # Single-row calls see the same values as the full-batch call.
+        for row in np.flatnonzero(surviving)[:5]:
+            alone = squared_euclidean_batch_abandon(query, collection[row][None, :],
+                                                    np.inf)
+            assert alone[0] == loose[row]
+
+    def test_empty_collection(self):
+        result = squared_euclidean_batch_abandon(np.zeros(8), np.empty((0, 8)), 1.0)
+        assert result.shape == (0,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            squared_euclidean_batch_abandon(np.zeros(4), np.zeros((3, 5)), 1.0)
+        with pytest.raises(ValueError):
+            squared_euclidean_batch_abandon(np.zeros((2, 4)), np.zeros((3, 4)), 1.0)
+        with pytest.raises(ValueError):
+            squared_euclidean_batch_abandon(np.zeros(4), np.zeros((3, 4)), 1.0,
+                                            chunk=0)
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1),
+           st.integers(min_value=1, max_value=96))
+    @settings(max_examples=40, deadline=None)
+    def test_property_never_underestimates(self, seed, chunk):
+        rng = np.random.default_rng(seed)
+        query = rng.standard_normal(120)
+        collection = rng.standard_normal((12, 120))
+        true = squared_euclidean_batch(query, collection)
+        threshold = float(rng.uniform(0, true.max() + 1e-9))
+        result = squared_euclidean_batch_abandon(query, collection, threshold,
+                                                 chunk=chunk)
+        for value, exact in zip(result, true):
+            assert value == pytest.approx(exact, rel=1e-9) or value > threshold
 
 
 @given(arrays(np.float64, st.integers(min_value=2, max_value=64),

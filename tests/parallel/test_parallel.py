@@ -74,6 +74,90 @@ class TestWorkerPool:
             pool.map(explode, range(10))
 
 
+class TestMapShared:
+    def test_every_item_processed_exactly_once(self):
+        pool = WorkerPool(num_workers=4)
+        states = pool.map_shared(lambda item, state: state.append(item),
+                                 range(200), make_state=list)
+        assert 1 <= len(states) <= 4
+        combined = sorted(item for state in states for item in state)
+        assert combined == list(range(200))
+
+    def test_chunks_stay_contiguous(self):
+        pool = WorkerPool(num_workers=3)
+        states = pool.map_shared(lambda item, state: state.append(item),
+                                 range(90), make_state=list, chunk_size=10)
+        for state in states:
+            for position in range(0, len(state), 10):
+                chunk = state[position:position + 10]
+                assert chunk == list(range(chunk[0], chunk[0] + len(chunk)))
+
+    def test_single_worker_runs_inline_with_one_state(self):
+        pool = WorkerPool(num_workers=1)
+        states = pool.map_shared(lambda item, state: state.append(item * 2),
+                                 [1, 2, 3], make_state=list)
+        assert states == [[2, 4, 6]]
+
+    def test_shared_state_visible_across_workers(self):
+        """Workers communicate through closed-over shared structures."""
+        import threading
+
+        pool = WorkerPool(num_workers=4)
+        total = [0]
+        lock = threading.Lock()
+
+        def add(item, state):
+            del state
+            with lock:
+                total[0] += item
+
+        pool.map_shared(add, range(100), make_state=lambda: None)
+        assert total[0] == sum(range(100))
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(InvalidParameterError):
+            WorkerPool(num_workers=2).map_shared(lambda i, s: None, [1],
+                                                 make_state=list, chunk_size=0)
+
+    def test_exception_propagates(self):
+        pool = WorkerPool(num_workers=2)
+
+        def explode(item, state):
+            del state
+            if item == 7:
+                raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            pool.map_shared(explode, range(20), make_state=list)
+
+    def test_empty_items(self):
+        states = WorkerPool(num_workers=3).map_shared(
+            lambda item, state: state.append(item), [], make_state=list)
+        assert states == [[]]
+
+
+class TestPersistentPool:
+    def test_executor_reused_across_calls(self):
+        pool = WorkerPool(num_workers=3, persistent=True)
+        assert pool.map(lambda x: x + 1, range(10)) == list(range(1, 11))
+        executor = pool._executor
+        assert executor is not None
+        assert pool.map(lambda x: x * 2, range(10)) == [x * 2 for x in range(10)]
+        assert pool._executor is executor
+
+    def test_non_persistent_keeps_no_executor(self):
+        pool = WorkerPool(num_workers=3)
+        pool.map(lambda x: x, range(10))
+        assert pool._executor is None
+
+    def test_map_shared_on_persistent_pool(self):
+        pool = WorkerPool(num_workers=2, persistent=True)
+        states = pool.map_shared(lambda item, state: state.append(item),
+                                 range(50), make_state=list)
+        combined = sorted(item for state in states for item in state)
+        assert combined == list(range(50))
+
+
 class TestDefaultNumWorkers:
     def test_unset_env_means_one(self, monkeypatch):
         monkeypatch.delenv(NUM_WORKERS_ENV, raising=False)
