@@ -1,0 +1,117 @@
+"""Crash recovery: snapshot + write-ahead log → kill → recover, exactly.
+
+A serving process that buffers inserts in memory loses them when it dies.
+This example runs the durability loop of :class:`repro.DynamicIndex`:
+
+1. **build** a MESSI index, attach a **write-ahead log** and take a
+   checkpoint snapshot,
+2. **ingest** while every insert/delete is appended (checksummed, fsynced)
+   to the log *before* it is acknowledged — and measure what the logging
+   costs next to unlogged ingest,
+3. **kill** the process mid-write: the object is abandoned without a clean
+   close, and the log's tail is torn mid-record exactly as a power cut
+   would leave it,
+4. **recover**: replay the log over the snapshot.  Every acked write is
+   restored, the torn (never-acked) tail record is discarded, and the
+   answers are bit-identical to the pre-crash index.
+
+Run with::
+
+    python examples/crash_recovery.py
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import DynamicIndex, MessiIndex, load_dataset, split_queries
+
+INITIAL_SERIES = 2000
+STREAM_BATCHES = 5
+BATCH_SIZE = 64
+K = 5
+
+
+def ingest(served, stream: np.ndarray) -> float:
+    start = time.perf_counter()
+    for batch_start in range(0, stream.shape[0], BATCH_SIZE):
+        served.insert_batch(stream[batch_start:batch_start + BATCH_SIZE])
+    return time.perf_counter() - start
+
+
+def main() -> None:
+    dataset = load_dataset("LenDB", num_series=INITIAL_SERIES + STREAM_BATCHES
+                           * BATCH_SIZE + 16, seed=23)
+    collection, queries = split_queries(dataset, num_queries=16)
+    base = collection.values[:INITIAL_SERIES]
+    stream = collection.values[INITIAL_SERIES:]
+
+    workdir = Path(tempfile.mkdtemp(prefix="crash-recovery-example-"))
+    snapshot = workdir / "snapshot"
+    wal_dir = workdir / "wal"
+    try:
+        # --- build + attach the log + checkpoint --------------------------
+        index = MessiIndex(word_length=16, alphabet_size=256,
+                           leaf_size=100).build(base)
+
+        # Unlogged baseline first, to price the durability below.
+        bare_seconds = ingest(index.dynamic(), stream)
+
+        served = index.dynamic(wal_dir=wal_dir, wal_fsync="batch")
+        served.save(snapshot)  # checkpoint: recovery replays only newer LSNs
+        print(f"built over {INITIAL_SERIES} series; write-ahead log at "
+              f"{wal_dir.name}/, checkpoint snapshot at {snapshot.name}/")
+
+        # --- logged ingest ------------------------------------------------
+        logged_seconds = ingest(served, stream)
+        served.delete(17)
+        served.delete(INITIAL_SERIES + 3)
+        expected = served.knn_batch(queries.values, k=K)
+        acked_state = (served.num_surviving, served.delta_count)
+        rate = stream.shape[0] / logged_seconds
+        print(f"ingested {stream.shape[0]} series + 2 deletes under the log "
+              f"in {1000 * logged_seconds:.1f} ms ({rate:,.0f} rows/s, "
+              f"{logged_seconds / bare_seconds:.2f}x the unlogged time)")
+
+        # --- kill ---------------------------------------------------------
+        # The process dies: no close(), no checkpoint.  One more insert is
+        # cut off mid-append — its record never finished, so it was never
+        # acknowledged to any client.
+        served.insert(queries.values[0])
+        del served  # abandon; the OS would reclaim the file handle
+        torn = sorted(wal_dir.glob("wal-*.log"))[-1]
+        torn.write_bytes(torn.read_bytes()[:-11])
+        print("killed the serving process mid-append "
+              f"(tore the tail of {torn.name})")
+
+        # --- recover ------------------------------------------------------
+        start = time.perf_counter()
+        recovered = DynamicIndex.recover(snapshot, wal_dir)
+        recover_seconds = time.perf_counter() - start
+        assert (recovered.num_surviving,
+                recovered.delta_count) == acked_state
+        observed = recovered.knn_batch(queries.values, k=K)
+        for want, got in zip(expected, observed):
+            assert want.indices.tolist() == got.indices.tolist()
+            assert np.array_equal(want.distances, got.distances)
+        print(f"recovered in {1000 * recover_seconds:.1f} ms: snapshot + "
+              f"replay of {stream.shape[0]} logged inserts and 2 deletes, "
+              "torn tail discarded, answers bit-identical to the last ack")
+
+        # The recovered index is live: the log is re-attached and writes flow.
+        recovered.insert(queries.values[0])
+        recovered.close()
+        print("\nevery acknowledged write survived the crash; the one "
+              "never-acked torn record was dropped — exactly the contract "
+              "a client can build on.")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -21,7 +21,11 @@ True
 
 from repro.baselines import FlatL2Index, SerialScan, UcrSuiteScan
 from repro.core import (
+    CorruptionError,
     Dataset,
+    ReproError,
+    ValidationError,
+    WalError,
     euclidean,
     squared_euclidean,
     tightness_of_lower_bound,
@@ -47,6 +51,7 @@ from repro.index import (
     SearchResult,
     SofaIndex,
     TreeIndex,
+    WriteAheadLog,
     compute_structure_stats,
     load_index,
     save_index,
@@ -57,6 +62,7 @@ __version__ = "0.1.0"
 
 __all__ = [
     "BatchSearcher",
+    "CorruptionError",
     "DFT",
     "Dataset",
     "DynamicIndex",
@@ -67,12 +73,16 @@ __all__ = [
     "PAA",
     "SAX",
     "SFA",
+    "ReproError",
     "SearchResult",
     "SerialScan",
     "SofaIndex",
     "TreeIndex",
     "UcrSuiteScan",
+    "ValidationError",
+    "WalError",
     "WorkloadRunner",
+    "WriteAheadLog",
     "__version__",
     "compute_structure_stats",
     "critical_difference",

@@ -9,11 +9,14 @@ from repro.core.distance import (
     znormalized_euclidean,
 )
 from repro.core.errors import (
+    CorruptionError,
     DatasetError,
     InvalidParameterError,
     NotFittedError,
     ReproError,
     SearchError,
+    ValidationError,
+    WalError,
 )
 from repro.core.lower_bounds import (
     check_lower_bound_property,
@@ -30,6 +33,7 @@ from repro.core.simd import (
 )
 
 __all__ = [
+    "CorruptionError",
     "Dataset",
     "DatasetError",
     "GrowableArray",
@@ -37,6 +41,8 @@ __all__ = [
     "NotFittedError",
     "ReproError",
     "SearchError",
+    "ValidationError",
+    "WalError",
     "batch_lower_bound",
     "check_lower_bound_property",
     "chunked_masked_lower_bound",

@@ -34,3 +34,28 @@ class IndexError_(ReproError):
 
 class SearchError(ReproError):
     """Raised when a similarity-search query cannot be answered."""
+
+
+class ValidationError(IndexError_, SearchError):
+    """Raised when input values at the API boundary are unusable.
+
+    Covers NaN/infinite values, non-numeric dtypes and wrong series lengths
+    handed to ``knn`` / ``knn_batch`` / ``insert``.  It derives from *both*
+    :class:`IndexError_` and :class:`SearchError` so callers that catch either
+    family (queries historically raised ``SearchError``, writes
+    ``IndexError_``) keep working.
+    """
+
+
+class CorruptionError(IndexError_):
+    """Raised when stored index data fails a checksum or is torn/truncated.
+
+    The message always names the offending file (and offset, for WAL
+    records), so operators can tell *which* artifact to restore.  Detection —
+    never a silently wrong answer — is the contract the crash-safe storage
+    layer makes about bit rot.
+    """
+
+
+class WalError(IndexError_):
+    """Raised for write-ahead-log misuse or unreadable log state."""

@@ -1,0 +1,142 @@
+"""Injectable filesystem primitives for crash-safe persistence.
+
+Every durable effect the persistence layer and the write-ahead log perform —
+writing a file, fsyncing it, fsyncing a directory entry, renaming, unlinking —
+goes through the small functions in this module instead of calling ``os`` /
+``open`` directly.  Routing them through one seam buys two things:
+
+* **Fault injection.**  The reliability test harness installs a hook
+  (:func:`set_hook`) that observes every effect *in order* and can raise at
+  any chosen point, simulating a process crash between any two durable
+  operations.  Sweeping the crash point over every enumerated effect proves
+  the commit protocols (temp-sibling rename, generation-file manifest commit,
+  WAL appends) leave either the old or the new complete state on disk — never
+  a torn mix.
+* **One place to state the durability contract.**  ``fsync`` of a file makes
+  its *contents* durable; ``fsync`` of the containing directory makes the
+  *name* (creation or rename) durable; ``os.replace`` is atomic on POSIX
+  within a filesystem.  The commit protocols in
+  :mod:`repro.index.persistence` and :mod:`repro.index.wal` are built from
+  exactly these three facts.
+
+The hook is process-global and intended for tests; production code never sets
+one.  Hooks observe ``(operation, path)`` pairs *before* the effect runs, so
+raising from the hook means the effect (and everything after it) did not
+happen — the state a crash immediately before that effect would leave.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Callable
+
+#: The installed fault-injection hook, or ``None`` (the production state).
+_hook: "Callable[[str, str], None] | None" = None
+
+
+def set_hook(hook: "Callable[[str, str], None] | None"):
+    """Install a fault-injection hook; returns the previously installed one.
+
+    The hook is called as ``hook(operation, path)`` immediately *before* each
+    durable effect.  Pass ``None`` to uninstall.  Tests must restore the
+    previous hook (use a ``try/finally`` or the harness fixture) — the hook is
+    process-global.
+    """
+    global _hook
+    previous = _hook
+    _hook = hook
+    return previous
+
+
+def _enter(operation: str, path: "str | os.PathLike") -> None:
+    if _hook is not None:
+        _hook(operation, str(path))
+
+
+# ------------------------------------------------------------------ effects
+
+
+def write_bytes(path: "str | os.PathLike", data: bytes) -> None:
+    """Create (or truncate) ``path`` and write ``data`` in one call."""
+    _enter("write", path)
+    with open(path, "wb") as handle:
+        handle.write(data)
+
+
+def fsync_path(path: "str | os.PathLike") -> None:
+    """Flush a file's contents to stable storage (open-by-name fsync)."""
+    _enter("fsync", path)
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def fsync_dir(path: "str | os.PathLike") -> None:
+    """Make the directory's entries (creations, renames) durable."""
+    _enter("fsync_dir", path)
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def rename(source: "str | os.PathLike", destination: "str | os.PathLike") -> None:
+    """Atomically move ``source`` over ``destination`` (``os.replace``)."""
+    _enter("rename", destination)
+    os.replace(source, destination)
+
+
+def unlink(path: "str | os.PathLike") -> None:
+    """Remove a file (missing files are ignored: cleanup is idempotent)."""
+    _enter("unlink", path)
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        pass
+
+
+def mkdir(path: "str | os.PathLike") -> None:
+    """Create a directory (existing directories are fine)."""
+    _enter("mkdir", path)
+    Path(path).mkdir(parents=True, exist_ok=True)
+
+
+def rmtree(path: "str | os.PathLike") -> None:
+    """Recursively remove a directory tree (missing trees are ignored)."""
+    _enter("rmtree", path)
+    import shutil
+
+    shutil.rmtree(path, ignore_errors=True)
+
+
+# ------------------------------------------------- append streams (the WAL)
+
+
+def append_bytes(handle, data: bytes) -> None:
+    """Append ``data`` to an open binary file handle and flush user buffers.
+
+    ``flush()`` moves the bytes into the OS page cache (they survive a
+    *process* crash immediately); only :func:`fsync_handle` makes them survive
+    a power failure — which is what the WAL's fsync policies trade off.
+    """
+    _enter("append", getattr(handle, "name", "<handle>"))
+    handle.write(data)
+    handle.flush()
+
+
+def fsync_handle(handle) -> None:
+    """Flush an open handle's contents to stable storage."""
+    _enter("fsync", getattr(handle, "name", "<handle>"))
+    handle.flush()
+    os.fsync(handle.fileno())
+
+
+def truncate_handle(handle, size: int) -> None:
+    """Truncate an open handle to ``size`` bytes (drops a torn tail record)."""
+    _enter("truncate", getattr(handle, "name", "<handle>"))
+    handle.truncate(size)
+    handle.flush()

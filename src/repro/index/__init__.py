@@ -27,6 +27,13 @@ Both engines can serve a *mutating* collection through
 :class:`~repro.index.dynamic.DynamicIndex`: buffered inserts and tombstone
 deletes fused into the refinement loops, periodic compaction through the
 parallel build pipeline, and mid-ingest snapshots (format v2).
+
+Durability: snapshots are written crash-consistently (temp directory +
+fsync + atomic rename; format v3 adds per-array and manifest checksums,
+verified on load through the ``verify`` knob), and a
+:class:`~repro.index.wal.WriteAheadLog` makes individual dynamic writes
+survive a crash between snapshots — ``DynamicIndex.recover`` replays the
+log over the last snapshot bit-identically.
 """
 
 from repro.index.batch_search import BatchSearcher
@@ -57,6 +64,7 @@ from repro.index.stats import (
     merge_search_stats,
 )
 from repro.index.tree import BuildTimings, TreeIndex
+from repro.index.wal import WalRecord, WriteAheadLog, read_records
 
 __all__ = [
     "BatchSearcher",
@@ -76,6 +84,8 @@ __all__ = [
     "SofaIndex",
     "SummaryBuffer",
     "TreeIndex",
+    "WalRecord",
+    "WriteAheadLog",
     "compute_structure_stats",
     "fill_buffers",
     "load_dynamic",
@@ -83,6 +93,7 @@ __all__ = [
     "load_tree",
     "merge_search_stats",
     "read_manifest",
+    "read_records",
     "root_child_word",
     "save_dynamic",
     "save_index",

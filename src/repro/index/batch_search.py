@@ -62,14 +62,16 @@ import time
 import numpy as np
 
 from repro.core.distance import pairwise_squared_euclidean
-from repro.core.errors import SearchError
+from repro.core.errors import SearchError, ValidationError
 from repro.core.normalization import znormalize_batch
 from repro.core.simd import batch_lower_bound_multi, batch_lower_bound_pairs
 from repro.index.search import (
     ExactSearcher,
     SearchResult,
     SearchStats,
+    deadline_expired,
     finalize_result,
+    resolve_deadline,
 )
 from repro.index.tree import TreeIndex
 from repro.parallel.pool import WorkerPool, chunk_indices, resolve_num_workers
@@ -262,7 +264,8 @@ class BatchSearcher:
     # ------------------------------------------------------------- public
 
     def knn_batch(self, queries: np.ndarray, k: int = 1,
-                  num_workers: "int | None" = None) -> list[SearchResult]:
+                  num_workers: "int | None" = None,
+                  timeout_s: "float | None" = None) -> list[SearchResult]:
         """Exact k nearest neighbours of every query row, answered as a batch.
 
         Returns one :class:`~repro.index.search.SearchResult` per query, in
@@ -273,9 +276,16 @@ class BatchSearcher:
         the pool is answered query by query with intra-query workers instead,
         so the spare cores refine leaves rather than idling.  ``None`` means
         the ``REPRO_NUM_WORKERS`` process default.
+
+        ``timeout_s`` bounds the whole batch: once the budget runs out the
+        still-active queries stop nominating leaves and finalize their
+        best-so-far with ``stats.timed_out=True`` (reported distances stay
+        exact; a timed-out set may miss a closer unrefined series).  Queries
+        that finished before the deadline are unaffected.
         """
         if k < 1:
             raise SearchError(f"k must be >= 1, got {k}")
+        deadline = resolve_deadline(timeout_s)
         num_workers = resolve_num_workers(num_workers)
         # Capture the dynamic overlay once per batch so every shard (possibly
         # on another pool thread) answers over the same consistent snapshot.
@@ -286,11 +296,17 @@ class BatchSearcher:
                 f"k={k} exceeds the number of "
                 f"{'indexed' if delta is None else 'surviving'} series ({available})"
             )
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        try:
+            queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        except (TypeError, ValueError) as error:
+            raise ValidationError(f"queries are not numeric: {error}") from None
         if queries.ndim != 2 or queries.shape[1] != self.index.dataset.series_length:
-            raise SearchError(
-                f"queries must be rows of length {self.index.dataset.series_length}"
+            raise ValidationError(
+                f"queries must be rows of length {self.index.dataset.series_length}, "
+                f"got shape {queries.shape}"
             )
+        if not np.isfinite(queries).all():
+            raise ValidationError("queries contain NaN or infinite values")
         num_queries = queries.shape[0]
         if num_queries == 0:
             return []
@@ -308,7 +324,8 @@ class BatchSearcher:
             # tests pin down — not on refining every row with one kernel,
             # since the two engines' kernels have differed since the
             # batched engine was introduced.
-            return self._intra_query_fallback(queries, k, num_workers, delta)
+            return self._intra_query_fallback(queries, k, num_workers, delta,
+                                              deadline)
         # Shard for workers, and in any case keep each pass's dense
         # query x series state under the _MAX_SHARD_CELLS budget.
         cell_cap = max(1, _MAX_SHARD_CELLS // max(1, self.index.num_series))
@@ -316,16 +333,19 @@ class BatchSearcher:
                          max(min(num_workers, num_queries),
                              -(-num_queries // cell_cap)))
         if num_shards == 1:
-            return self._search_shard(queries, k, delta)
+            return self._search_shard(queries, k, delta, deadline)
         shards = [shard for shard in chunk_indices(num_queries, num_shards)
                   if shard.size]
         pool = WorkerPool(num_workers)
-        parts = pool.map(lambda shard: self._search_shard(queries[shard], k, delta),
-                         shards)
+        parts = pool.map(
+            lambda shard: self._search_shard(queries[shard], k, delta, deadline),
+            shards)
         return [result for part in parts for result in part]
 
     def _intra_query_fallback(self, queries: np.ndarray, k: int,
-                              num_workers: int, delta) -> list[SearchResult]:
+                              num_workers: int, delta,
+                              deadline: "float | None" = None
+                              ) -> list[SearchResult]:
         """Answer a small batch query by query with intra-query workers.
 
         Queries run one after another, each with the full worker pool on its
@@ -340,13 +360,14 @@ class BatchSearcher:
                 self.index, normalize_queries=self.normalize_queries,
                 flat_refinement_threshold=self.flat_refinement_threshold)
             self._intra_searcher = searcher
-        return [searcher._knn_under_delta(query, k, num_workers, delta)
+        return [searcher._knn_under_delta(query, k, num_workers, delta,
+                                          deadline=deadline)
                 for query in queries]
 
     # -------------------------------------------------------------- engine
 
-    def _search_shard(self, queries: np.ndarray, k: int,
-                      delta=None) -> list[SearchResult]:
+    def _search_shard(self, queries: np.ndarray, k: int, delta=None,
+                      deadline: "float | None" = None) -> list[SearchResult]:
         if self.normalize_queries:
             queries = znormalize_batch(queries)
         num_queries = queries.shape[0]
@@ -357,20 +378,29 @@ class BatchSearcher:
         frontier = _QueryFrontier(num_queries, k)
 
         if self.index.average_leaf_size < self.flat_refinement_threshold:
-            self._flat_search(queries, summaries, frontier, stats, delta)
+            self._flat_search(queries, summaries, frontier, stats, delta,
+                              deadline)
         else:
-            self._tree_search(queries, summaries, frontier, stats, delta)
+            self._tree_search(queries, summaries, frontier, stats, delta,
+                              deadline)
 
         values = self.index.dataset.values
-        return [finalize_result(query, values, frontier.rows[query_index],
-                                stats[query_index], delta=delta)
-                for query_index, query in enumerate(queries)]
+        results = []
+        for query_index, query in enumerate(queries):
+            rows = frontier.rows[query_index]
+            if stats[query_index].timed_out:
+                # A timed-out query may not have filled its top-k yet; drop
+                # the -1 padding so finalization only sees real winners.
+                rows = rows[rows >= 0]
+            results.append(finalize_result(query, values, rows,
+                                           stats[query_index], delta=delta))
+        return results
 
     # ------------------------------------------------------------ tree path
 
     def _tree_search(self, queries: np.ndarray, summaries: np.ndarray,
                      frontier: _QueryFrontier, stats: list[SearchStats],
-                     delta=None) -> None:
+                     delta=None, deadline: "float | None" = None) -> None:
         index = self.index
         num_leaves = len(index.leaf_nodes)
         num_queries = queries.shape[0]
@@ -447,6 +477,13 @@ class BatchSearcher:
             active_queries = np.flatnonzero(active)
             if active_queries.size == 0:
                 break
+            if deadline_expired(deadline):
+                # The seed round above already refined every query's most
+                # promising leaf, so each still-active query finalizes the
+                # best-so-far it has instead of an empty answer.
+                for query_index in active_queries:
+                    stats[query_index].timed_out = True
+                break
             round_start = time.perf_counter()
             window = _round_window(base_window, num_queries, active_queries.size,
                                    num_leaves)
@@ -485,7 +522,7 @@ class BatchSearcher:
 
     def _flat_search(self, queries: np.ndarray, summaries: np.ndarray,
                      frontier: _QueryFrontier, stats: list[SearchStats],
-                     delta=None) -> None:
+                     delta=None, deadline: "float | None" = None) -> None:
         """Filter-and-refine over the flat directory, batched across queries.
 
         The per-series bounds of every query come from one multi-query kernel
@@ -521,6 +558,13 @@ class BatchSearcher:
         while True:
             active_queries = np.flatnonzero(active)
             if active_queries.size == 0:
+                return
+            if deadline_expired(deadline):
+                # Flat-path queries start from an empty frontier, so a
+                # timed-out query reports however many winners its finished
+                # rounds accumulated (possibly none for a zero budget).
+                for query_index in active_queries:
+                    stats[query_index].timed_out = True
                 return
             round_start = time.perf_counter()
             window = _round_window(self.flat_block_size, num_queries,

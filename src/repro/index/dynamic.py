@@ -41,11 +41,19 @@ Compaction renumbers the survivors compactly (preserving their relative
 order, so tie-breaking by row id is unchanged) and returns the old→new
 mapping.
 
-Persistence: :meth:`~DynamicIndex.save` writes a **format-v2 snapshot** that
+Persistence: :meth:`~DynamicIndex.save` writes a dynamic snapshot that
 round-trips the delta buffer and both tombstone sets alongside the base tree,
 so a serving process can restart mid-ingest; format-v1 snapshots (and static
-v2 snapshots) load as a compacted index with an empty delta.  See
+v2+ snapshots) load as a compacted index with an empty delta.  See
 :mod:`repro.index.persistence`.
+
+Durability: pass ``wal_dir`` to attach a :class:`~repro.index.wal.WriteAheadLog`
+— every ``insert``/``insert_batch``/``delete`` then appends a checksummed log
+record *before* mutating in-memory state and acking, so
+:meth:`~DynamicIndex.recover` can replay a crash-lost session over the last
+snapshot bit-identically.  ``save`` records the covered WAL position in the
+manifest and checkpoints the log; ``compact`` writes a logged barrier and
+rotates the segment with the generation swap.
 """
 
 from __future__ import annotations
@@ -56,7 +64,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.errors import IndexError_, InvalidParameterError
+from repro.core.errors import IndexError_, InvalidParameterError, ValidationError
 from repro.core.normalization import znormalize_batch
 from repro.core.series import Dataset, GrowableArray
 from repro.index.batch_search import BatchSearcher
@@ -64,6 +72,8 @@ from repro.index.messi import MessiIndex
 from repro.index.search import ExactSearcher, SearchResult
 from repro.index.sofa import SofaIndex
 from repro.index.tree import TreeIndex
+from repro.index.wal import OP_COMPACT, OP_DELETE, OP_INSERT, WriteAheadLog
+from repro.index.wal import read_records as _read_wal_records
 from repro.parallel.pool import BackgroundTask
 
 
@@ -251,16 +261,28 @@ class DynamicIndex:
     num_workers:
         Default worker count of compaction rebuilds (``None`` keeps the
         base tree's configuration).
+    wal_dir:
+        Directory of a :class:`~repro.index.wal.WriteAheadLog` to attach.
+        Writes append a checksummed record *before* mutating state and
+        acking; after a crash, :meth:`recover` replays the log over the last
+        snapshot.  Attaching to a log that already holds records raises a
+        typed :class:`~repro.core.errors.WalError` (replay them first).
+    wal_fsync:
+        Log fsync policy: ``"always"`` (acked writes survive power loss),
+        ``"batch"`` (default; acked writes survive process crashes) or
+        ``"off"``.
 
     Reads are lock-free: a query atomically grabs the current generation
     (tree + searchers) and captures a consistent :class:`DeltaView`.  Writes
-    (insert, delete, compact, save) serialize on one lock.
+    (insert, delete, compact, save) serialize on one lock; the WAL append
+    happens inside it, so log order is apply order.
     """
 
     def __init__(self, index, *, compact_threshold: float = 0.25,
                  auto_compact: bool = False, normalize: bool = True,
                  normalize_queries: bool = True,
-                 num_workers: "int | None" = None) -> None:
+                 num_workers: "int | None" = None,
+                 wal_dir=None, wal_fsync: str = "batch") -> None:
         tree, index_type = _resolve_tree(index)
         if not tree.is_built:
             raise IndexError_(
@@ -280,6 +302,10 @@ class DynamicIndex:
         self._write_lock = threading.Lock()
         self._compaction_lock = threading.Lock()
         self._compaction_task: BackgroundTask | None = None
+        self._wal: WriteAheadLog | None = None
+        if wal_dir is not None:
+            self._wal = WriteAheadLog(wal_dir, fsync=wal_fsync,
+                                      expect_empty=True)
 
     # ---------------------------------------------------------- inspection
 
@@ -343,39 +369,57 @@ class DynamicIndex:
         exactly like indexed ones.  No tree surgery happens here; the rows
         become eligible for tree placement at the next :meth:`compact`.
         """
-        matrix = np.asarray(series_matrix, dtype=np.float64)
+        try:
+            matrix = np.asarray(series_matrix, dtype=np.float64)
+        except (TypeError, ValueError) as error:
+            raise ValidationError(
+                f"inserted series are not numeric: {error}") from None
         if matrix.ndim == 1:
             matrix = matrix[None, :]
         if matrix.ndim != 2 or matrix.shape[0] == 0:
-            raise IndexError_(
+            raise ValidationError(
                 f"insert_batch expects a non-empty 2-D matrix of series, "
                 f"got shape {matrix.shape}"
             )
         expected = self._state.tree.dataset.series_length
         if matrix.shape[1] != expected:
-            raise IndexError_(
+            raise ValidationError(
                 f"inserted series have length {matrix.shape[1]}, but the "
                 f"index was built over series of length {expected}"
             )
         if not np.isfinite(matrix).all():
-            raise IndexError_("inserted series contain NaN or infinite values")
+            raise ValidationError("inserted series contain NaN or infinite values")
         if self.normalize:
             matrix = znormalize_batch(matrix)
+        ids = self._insert_normalized(matrix, log=True)
+        if self.auto_compact and self.needs_compaction:
+            self._start_background_compaction()
+        return ids
+
+    def _insert_normalized(self, matrix: np.ndarray, log: bool) -> np.ndarray:
+        """Append already-normalized rows (the write path and WAL replay).
+
+        With ``log=True`` the batch is appended to the WAL *before* the
+        buffers mutate — if the log append fails (disk full, simulated
+        crash), the exception propagates with the in-memory state untouched
+        and nothing acked.  Replay calls with ``log=False``: the record's
+        rows are the exact bytes the original call buffered, so appending
+        them (bypassing normalization) reproduces the buffers bit-identically.
+        """
         with self._write_lock:
             state = self._state  # re-read: compaction may have swapped it
             summarization = state.tree.summarization
             words = summarization.words(matrix)
             lower, upper = summarization.bins.intervals(words)
+            if log and self._wal is not None:
+                self._wal.append_insert(matrix)
             start = state.delta_values.append(matrix)
             state.delta_lower.append(lower)
             state.delta_upper.append(upper)
             # Aliveness last: readers derive the visible row count from it.
             state.delta_alive.append(np.ones(matrix.shape[0], dtype=bool))
-            ids = state.num_base + start + np.arange(matrix.shape[0],
-                                                     dtype=np.int64)
-        if self.auto_compact and self.needs_compaction:
-            self._start_background_compaction()
-        return ids
+            return state.num_base + start + np.arange(matrix.shape[0],
+                                                      dtype=np.int64)
 
     def delete(self, row: int) -> None:
         """Tombstone a row (base or buffered) by its global id.
@@ -384,7 +428,15 @@ class DynamicIndex:
         is out of range or already tombstoned — never a silent no-op, so
         double deletes surface instead of masking bookkeeping bugs.
         """
-        row = operator.index(row)
+        self._delete_row(operator.index(row), log=True)
+
+    def _delete_row(self, row: int, log: bool) -> None:
+        """Validate and tombstone one row (write path and WAL replay).
+
+        The WAL record is appended after validation but before the mask
+        flips: an invalid delete is never logged, a logged delete is always
+        applied.
+        """
         with self._write_lock:
             state = self._state
             if row < 0 or row >= state.num_total:
@@ -396,6 +448,8 @@ class DynamicIndex:
             if row < state.num_base:
                 if not state.base_alive[row]:
                     raise IndexError_(f"row {row} is already deleted")
+                if log and self._wal is not None:
+                    self._wal.append_delete(row)
                 state.base_alive[row] = False
                 state.base_dead += 1
                 state.invalidate_tombstone_cache()
@@ -404,13 +458,16 @@ class DynamicIndex:
                 alive = state.delta_alive.view
                 if not alive[position]:
                     raise IndexError_(f"row {row} is already deleted")
+                if log and self._wal is not None:
+                    self._wal.append_delete(row)
                 alive[position] = False
                 state.delta_dead += 1
 
     # -------------------------------------------------------------- queries
 
     def knn(self, query: np.ndarray, k: int = 1,
-            num_workers: "int | None" = None) -> SearchResult:
+            num_workers: "int | None" = None,
+            timeout_s: "float | None" = None) -> SearchResult:
         """Exact k-NN over *tree ∪ delta − tombstones*.
 
         Bit-identical to a scratch rebuild on the surviving rows (answers are
@@ -418,8 +475,11 @@ class DynamicIndex:
         ``num_workers`` drains the query's leaf queue — with the delta buffer
         as one more work item — against a shared best-so-far; answers are
         bit-identical for every worker count, mid-ingest included.
+        ``timeout_s`` bounds the search: on expiry the best-so-far is
+        finalized with ``stats.timed_out=True``.
         """
-        return self._state.searcher.knn(query, k=k, num_workers=num_workers)
+        return self._state.searcher.knn(query, k=k, num_workers=num_workers,
+                                        timeout_s=timeout_s)
 
     def nearest_neighbor(self, query: np.ndarray,
                          num_workers: "int | None" = None) -> SearchResult:
@@ -427,10 +487,12 @@ class DynamicIndex:
         return self.knn(query, k=1, num_workers=num_workers)
 
     def knn_batch(self, queries: np.ndarray, k: int = 1,
-                  num_workers: "int | None" = None) -> "list[SearchResult]":
+                  num_workers: "int | None" = None,
+                  timeout_s: "float | None" = None) -> "list[SearchResult]":
         """Batched exact k-NN over the surviving rows (same answers as knn)."""
         return self._state.batch_searcher.knn_batch(queries, k=k,
-                                                    num_workers=num_workers)
+                                                    num_workers=num_workers,
+                                                    timeout_s=timeout_s)
 
     # ----------------------------------------------------------- compaction
 
@@ -446,7 +508,7 @@ class DynamicIndex:
         rows.  With nothing pending this is a cheap identity remap.
         """
         with self._write_lock:
-            return self._compact_locked(num_workers)
+            return self._compact_locked(num_workers, log=True)
 
     def compact_in_background(self,
                               num_workers: "int | None" = None) -> BackgroundTask:
@@ -484,7 +546,8 @@ class DynamicIndex:
         """
         self.compact_in_background()
 
-    def _compact_locked(self, num_workers: "int | None") -> np.ndarray:
+    def _compact_locked(self, num_workers: "int | None",
+                        log: bool = True) -> np.ndarray:
         state = self._state
         mapping = np.full(state.num_total, -1, dtype=np.int64)
         if state.delta_count == 0 and state.base_dead == 0:
@@ -497,6 +560,12 @@ class DynamicIndex:
                 "cannot compact an index whose rows are all deleted; "
                 "insert new series first"
             )
+        if log and self._wal is not None:
+            # Logged (and fsynced) only after the checks above, so a logged
+            # compact always replays cleanly; rebuilds are deterministic, so
+            # replaying the record reproduces this very tree and the
+            # renumbering every later record's row ids assume.
+            self._wal.append_compact()
         values = np.concatenate(
             [np.asarray(state.tree.dataset.values)[surviving_base],
              state.delta_values.view[surviving_delta]], axis=0)
@@ -513,35 +582,91 @@ class DynamicIndex:
         # see either the complete old state or the complete new one.
         self._state = _DynamicState(tree, state.index_type,
                                     normalize_queries=self.normalize_queries)
+        if self._wal is not None:
+            # A segment never spans a generation swap; old segments stay
+            # until the next durable snapshot checkpoints them.
+            self._wal.rotate()
         return mapping
 
     # ---------------------------------------------------------- persistence
 
     def save(self, path) -> "DynamicIndex":
-        """Write a format-v2 snapshot including the delta and tombstones.
+        """Write a dynamic snapshot including the delta and tombstones.
 
         A process restarted from the snapshot resumes serving mid-ingest:
-        same surviving rows, same global ids, same answers.  Returns ``self``
-        for chaining.
+        same surviving rows, same global ids, same answers.  With a WAL
+        attached, the manifest records the covered log position and — once
+        the snapshot is durably committed — the log is checkpointed (old
+        segments dropped; a crash in between is harmless, replay skips
+        covered records).  Returns ``self`` for chaining.
         """
         from repro.index.persistence import save_dynamic
 
         with self._write_lock:
             save_dynamic(self, path)
+            if self._wal is not None:
+                self._wal.checkpoint()
         return self
 
     @classmethod
     def load(cls, path, mmap: bool = True, **options) -> "DynamicIndex":
         """Load a snapshot into a serving dynamic index.
 
-        Dynamic (format-v2) snapshots restore the delta buffer and tombstone
-        sets; static snapshots — format v1, or v2 written by ``save_index`` —
+        Dynamic snapshots restore the delta buffer and tombstone sets;
+        static snapshots — format v1, or ones written by ``save_index`` —
         load as a compacted index with an empty delta (the upgrade path).
-        ``options`` are forwarded to the constructor.
+        ``options`` are forwarded to the constructor.  To replay a
+        write-ahead log on top, use :meth:`recover`.
         """
         from repro.index.persistence import load_dynamic
 
         return load_dynamic(path, mmap=mmap, **options)
+
+    @classmethod
+    def recover(cls, snapshot_path, wal_dir, *, mmap: bool = True,
+                verify: str = "lazy", wal_fsync: str = "batch",
+                **options) -> "DynamicIndex":
+        """Restore a crashed session: snapshot + WAL replay, bit-identically.
+
+        Loads the snapshot, replays every log record it does not cover
+        (``lsn > wal.applied_lsn`` from the manifest) in order — inserts
+        append the exact logged rows, deletes re-tombstone, compact records
+        re-run the deterministic rebuild — and re-attaches the log for
+        future writes.  The result equals the index the crashed process
+        held at its last acked write: same rows, same ids, same answers.
+        A torn tail record (a crash mid-append; never acked) is truncated;
+        a checksum-corrupt record raises a typed
+        :class:`~repro.core.errors.CorruptionError`.
+        """
+        from repro.index.persistence import load_dynamic, read_manifest
+
+        manifest = read_manifest(snapshot_path)
+        applied = int((manifest.get("wal") or {}).get("applied_lsn", 0))
+        dynamic = load_dynamic(snapshot_path, mmap=mmap, manifest=manifest,
+                               verify=verify, **options)
+        for record in _read_wal_records(wal_dir, after_lsn=applied):
+            dynamic._apply_wal_record(record)
+        # Attach for future writes only after replay: the constructor path
+        # (expect_empty) refuses un-replayed records for exactly this reason.
+        dynamic._wal = WriteAheadLog(wal_dir, fsync=wal_fsync)
+        return dynamic
+
+    def _apply_wal_record(self, record) -> None:
+        """Re-apply one decoded log record during recovery (never re-logged)."""
+        if record.op == OP_INSERT:
+            self._insert_normalized(record.values, log=False)
+        elif record.op == OP_DELETE:
+            self._delete_row(int(record.row), log=False)
+        elif record.op == OP_COMPACT:
+            with self._write_lock:
+                self._compact_locked(None, log=False)
+        else:  # pragma: no cover - read_records rejects unknown ops first
+            raise IndexError_(f"cannot replay WAL record with op {record.op}")
+
+    def close(self) -> None:
+        """Release the write-ahead log's file handle (flushing it first)."""
+        if self._wal is not None:
+            self._wal.close()
 
     @classmethod
     def _restore(cls, tree: TreeIndex, index_type: str, *,

@@ -87,16 +87,18 @@ class MessiIndex:
         return self
 
     @classmethod
-    def load(cls, path, mmap: bool = True) -> "MessiIndex":
+    def load(cls, path, mmap: bool = True, verify: str = "lazy") -> "MessiIndex":
         """Load a MESSI snapshot; ``mmap=True`` maps the data without copying.
 
         The loaded index answers ``knn`` / ``knn_batch`` bit-identically to
         the index that was saved.  Loading a snapshot of a different index
-        type raises :class:`~repro.core.errors.IndexError_`.
+        type raises :class:`~repro.core.errors.IndexError_`.  ``verify``
+        controls checksum verification of the payload arrays (``"eager"``,
+        ``"lazy"`` or ``"off"``; see :func:`repro.index.persistence.load_tree`).
         """
         from repro.index.persistence import load_index
 
-        return load_index(path, mmap=mmap, expected_type="messi")
+        return load_index(path, mmap=mmap, expected_type="messi", verify=verify)
 
     def dynamic(self, **options) -> "DynamicIndex":
         """Wrap this built index in a :class:`~repro.index.dynamic.DynamicIndex`.
@@ -111,14 +113,19 @@ class MessiIndex:
         return DynamicIndex(self, **options)
 
     def knn(self, query: np.ndarray, k: int = 1,
-            num_workers: "int | None" = None) -> SearchResult:
+            num_workers: "int | None" = None,
+            timeout_s: "float | None" = None) -> SearchResult:
         """Exact k nearest neighbours of ``query``.
 
         ``num_workers`` threads drain the query's surviving-leaf queue
         against a shared best-so-far (``None`` = the ``REPRO_NUM_WORKERS``
         process default); answers are bit-identical for every worker count.
+        ``timeout_s`` bounds the search: on expiry the best-so-far is
+        finalized with ``stats.timed_out=True`` (see
+        :meth:`repro.index.search.ExactSearcher.knn`).
         """
-        return self._require_built().knn(query, k=k, num_workers=num_workers)
+        return self._require_built().knn(query, k=k, num_workers=num_workers,
+                                         timeout_s=timeout_s)
 
     def nearest_neighbor(self, query: np.ndarray,
                          num_workers: "int | None" = None) -> SearchResult:
@@ -136,14 +143,19 @@ class MessiIndex:
                                                      max_refined_series=max_refined_series)
 
     def knn_batch(self, queries: np.ndarray, k: int = 1,
-                  num_workers: "int | None" = None) -> "list[SearchResult]":
+                  num_workers: "int | None" = None,
+                  timeout_s: "float | None" = None) -> "list[SearchResult]":
         """Exact k-NN for a batch of queries, answered by the batched engine.
 
         See :class:`~repro.index.batch_search.BatchSearcher`; ``num_workers``
         shards the batch over a thread pool, falling back to intra-query
-        workers when the batch is smaller than the pool.
+        workers when the batch is smaller than the pool.  ``timeout_s``
+        bounds the whole batch (still-active queries finalize their
+        best-so-far with ``stats.timed_out=True``).
         """
-        return self._require_built().knn_batch(queries, k=k, num_workers=num_workers)
+        return self._require_built().knn_batch(queries, k=k,
+                                               num_workers=num_workers,
+                                               timeout_s=timeout_s)
 
     @property
     def timings(self):

@@ -1,4 +1,4 @@
-"""Versioned on-disk snapshots of built indexes (save once, mmap-load many).
+"""Versioned, crash-consistent on-disk snapshots of built indexes.
 
 Every process that answers queries over a SOFA/MESSI index today first pays
 the full construction cost: learning the summarization, transforming every
@@ -7,7 +7,8 @@ directory snapshot that any number of later processes can open in
 milliseconds:
 
 * ``manifest.json`` — format magic + version, the index/tree/summarization
-  configuration, dataset identity and the recorded build timings;
+  configuration, dataset identity, recorded build timings, and (since format
+  v3) the file map and content checksums of every payload;
 * one ``.npy`` file per array — the dataset's (normalized) value matrix, the
   full-resolution word matrix, the flattened tree topology (node words, split
   dimensions, child links), the leaf directory (per-leaf and per-series
@@ -27,17 +28,51 @@ built one: the search engines consume exactly the arrays the snapshot stores,
 so every lower bound, pruning decision and refined distance is computed from
 the same float64 values either way.
 
+Crash consistency (format v3)
+-----------------------------
+Saving is atomic at snapshot granularity, built from three filesystem facts
+(file fsync makes contents durable, directory fsync makes names durable,
+``os.replace`` is atomic) routed through the injectable seam in
+:mod:`repro.core.fsio` so the reliability harness can crash a save between
+any two durable effects:
+
+* **Fresh save** (the target is not an existing snapshot): every payload and
+  the manifest are written and fsynced into a hidden *temp sibling*
+  directory, which is then renamed into place in one atomic step.  A crash
+  at any point leaves either no snapshot or the complete one.
+* **In-place re-save** (the target already holds a snapshot): new payloads
+  are written under *generation-suffixed* names (``values.g2.npy``) the old
+  manifest does not reference, and the commit point is a single atomic
+  rename of the new manifest over ``manifest.json``.  The old snapshot stays
+  fully loadable until that instant — a crash leaves either the old or the
+  new complete state, never a torn mix — and files of superseded
+  generations are unlinked only after the commit (mmap-loaded readers of
+  the old generation keep their inodes alive).
+
+Every payload's CRC-32 is recorded in the manifest, and the manifest itself
+carries a whole-manifest checksum.  ``verify="eager"`` re-checksums every
+payload on load; ``"lazy"`` (the default) checks only the payloads the load
+materializes anyway, so mmap loads stay O(structure) cheap; ``"off"`` skips
+verification.  A failed checksum, a missing file or a truncated ``.npy``
+raises a typed :class:`~repro.core.errors.CorruptionError` /
+:class:`~repro.core.errors.IndexError_` naming the offending file — never a
+raw numpy or OS exception, and never a silently wrong answer.
+
 Snapshots are versioned.  :data:`FORMAT_VERSION` is bumped whenever the
 layout changes; loading a snapshot written by a newer library raises a clear
-:class:`~repro.core.errors.IndexError_` instead of a numpy decode error.
+:class:`~repro.core.errors.IndexError_`.  Format v1 and v2 snapshots (no file
+map, no checksums) still load.
 
-Format version 2 adds *dynamic* snapshots: a
+Format version 2 added *dynamic* snapshots: a
 :class:`~repro.index.dynamic.DynamicIndex` saved mid-ingest stores, next to
 its base tree, the delta buffer (values and quantization intervals of every
 buffered series) and both tombstone sets, plus a ``dynamic`` manifest
 section.  Loading restores the exact serving state — same surviving rows,
-same global row ids, same answers.  The upgrade path is total: format-v1
-snapshots (and v2 snapshots of static indexes) load through
+same global row ids, same answers.  Format v3 additionally records the
+write-ahead-log position (``wal.applied_lsn``) captured by the snapshot, so
+:meth:`~repro.index.dynamic.DynamicIndex.recover` replays only the WAL
+records the snapshot does not already contain.  The upgrade path is total:
+format-v1/v2 snapshots (and v3 snapshots of static indexes) load through
 ``DynamicIndex.load`` as a compacted index with an empty delta, while
 ``load_index`` returns whatever was saved (a dynamic snapshot comes back as
 a :class:`~repro.index.dynamic.DynamicIndex`).
@@ -45,12 +80,15 @@ a :class:`~repro.index.dynamic.DynamicIndex`).
 
 from __future__ import annotations
 
+import io
 import json
+import zlib
 from pathlib import Path
 
 import numpy as np
 
-from repro.core.errors import IndexError_
+from repro.core import fsio
+from repro.core.errors import CorruptionError, IndexError_, InvalidParameterError
 from repro.core.series import Dataset
 from repro.index.messi import MessiIndex
 from repro.index.node import InnerNode, LeafNode
@@ -64,11 +102,17 @@ from repro.transforms.sfa import SFA
 FORMAT_MAGIC = "repro-index-snapshot"
 
 #: Current snapshot layout version.  Bump on any incompatible layout change.
-#: Version 2 (dynamic-maintenance subsystem) adds the optional delta/tombstone
-#: payload of dynamic indexes; static v2 snapshots keep the v1 layout.
-FORMAT_VERSION = 2
+#: Version 2 (dynamic-maintenance subsystem) added the optional
+#: delta/tombstone payload of dynamic indexes; version 3 (crash-safe storage)
+#: added the per-payload file map + checksums, the whole-manifest checksum,
+#: the save generation and the WAL position of dynamic snapshots.  v1/v2
+#: snapshots still load (no checksums to verify).
+FORMAT_VERSION = 3
 
-#: Names of the delta/tombstone arrays of a dynamic (v2) snapshot.
+#: Load-time payload verification modes (see :func:`load_tree`).
+VERIFY_MODES = ("eager", "lazy", "off")
+
+#: Names of the delta/tombstone arrays of a dynamic (v2+) snapshot.
 _DYNAMIC_ARRAYS = ("delta_values", "delta_lower", "delta_upper",
                    "delta_alive", "base_alive")
 
@@ -94,6 +138,60 @@ _SUMMARIZATIONS = {"SAX": SAX, "SFA": SFA}
 #: Index-wrapper registry: manifest index_type -> wrapper class (``tree``
 #: snapshots have no wrapper and are handled separately).
 _WRAPPERS = {"sofa": SofaIndex, "messi": MessiIndex}
+
+
+# ------------------------------------------------------------------ checksums
+
+
+def _crc32_hex(data: bytes) -> str:
+    return f"{zlib.crc32(data) & 0xFFFFFFFF:08x}"
+
+
+def _npy_bytes(array: np.ndarray) -> bytes:
+    """The exact ``.npy`` serialization of an array (checksummed as written)."""
+    buffer = io.BytesIO()
+    np.save(buffer, np.ascontiguousarray(array))
+    return buffer.getvalue()
+
+
+def _file_crc32_hex(path: Path, chunk_size: int = 1 << 22) -> str:
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(chunk_size)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+    return f"{crc & 0xFFFFFFFF:08x}"
+
+
+def manifest_checksum(manifest: dict) -> str:
+    """CRC-32 of the manifest's canonical JSON, ``manifest_checksum`` excluded.
+
+    The canonical form (sorted keys, compact separators) makes the checksum
+    independent of on-disk formatting, so a manifest survives pretty-printing
+    round trips but any *semantic* edit — flipped version, altered checksum
+    table, truncated array list — is detected.
+    """
+    body = {key: value for key, value in manifest.items()
+            if key != "manifest_checksum"}
+    data = json.dumps(body, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return _crc32_hex(data)
+
+
+def stamp_manifest_checksum(manifest: dict) -> dict:
+    """Set ``manifest_checksum`` to match the manifest's current content.
+
+    Exposed for tests and tools that rewrite manifests deliberately (version
+    probes, fixture regeneration): after any edit, re-stamp so the edit is
+    distinguishable from corruption.
+    """
+    manifest["manifest_checksum"] = manifest_checksum(manifest)
+    return manifest
+
+
+def _manifest_bytes(manifest: dict) -> bytes:
+    return (json.dumps(manifest, indent=2, sort_keys=True) + "\n").encode("utf-8")
 
 
 # --------------------------------------------------------------------- saving
@@ -172,16 +270,95 @@ def _flatten_tree(tree: TreeIndex) -> dict[str, np.ndarray]:
     }
 
 
+def _existing_snapshot_manifest(path: Path) -> "dict | None":
+    """The manifest of an existing snapshot at ``path``, or ``None``.
+
+    Raises the refusal error for non-empty directories that are not (or no
+    longer) valid snapshots — overwriting them in place would have no safe
+    commit protocol.
+    """
+    if not path.exists():
+        return None
+    if not path.is_dir():
+        raise IndexError_(f"snapshot target {path} exists and is not a directory")
+    if (path / MANIFEST_NAME).is_file():
+        try:
+            return read_manifest(path)
+        except IndexError_ as error:
+            raise IndexError_(
+                f"refusing to overwrite {path}: its manifest is unreadable "
+                f"({error}); delete the directory to re-save from scratch"
+            ) from None
+    if any(path.iterdir()):
+        raise IndexError_(
+            f"refusing to write snapshot into non-empty directory {path} "
+            "that is not an existing snapshot"
+        )
+    return None
+
+
+def _commit_fresh(path: Path, files: dict[str, bytes],
+                  manifest: dict) -> None:
+    """Write a brand-new snapshot via a temp sibling + one atomic rename."""
+    manifest["generation"] = 1
+    stamp_manifest_checksum(manifest)
+    staging = path.parent / f".{path.name}.saving"
+    fsio.rmtree(staging)
+    fsio.mkdir(staging)
+    for filename, data in files.items():
+        fsio.write_bytes(staging / filename, data)
+        fsio.fsync_path(staging / filename)
+    fsio.write_bytes(staging / MANIFEST_NAME, _manifest_bytes(manifest))
+    fsio.fsync_path(staging / MANIFEST_NAME)
+    fsio.fsync_dir(staging)
+    if path.exists():
+        # Validated empty by _existing_snapshot_manifest; clear the husk so
+        # the rename lands.  A crash in between leaves no snapshot plus a
+        # complete staging dir — the "old" state was no snapshot either way.
+        fsio.rmtree(path)
+    fsio.rename(staging, path)
+    fsio.fsync_dir(path.parent)
+
+
+def _commit_in_place(path: Path, files: dict[str, bytes], manifest: dict,
+                     previous_manifest: dict) -> None:
+    """Re-save over a live snapshot; the manifest rename is the commit point.
+
+    New payloads land under names the committed manifest does not reference,
+    so readers of the old generation are never disturbed; after the atomic
+    manifest swap, files the new manifest does not reference are unlinked
+    (their inodes stay alive for already-open mmaps).
+    """
+    stamp_manifest_checksum(manifest)
+    for filename, data in files.items():
+        fsio.write_bytes(path / filename, data)
+        fsio.fsync_path(path / filename)
+    temporary = path / (MANIFEST_NAME + ".tmp")
+    fsio.write_bytes(temporary, _manifest_bytes(manifest))
+    fsio.fsync_path(temporary)
+    fsio.rename(temporary, path / MANIFEST_NAME)
+    fsio.fsync_dir(path)
+    referenced = set(files) | {MANIFEST_NAME}
+    for entry in sorted(path.iterdir()):
+        if entry.name.endswith(".npy") and entry.name not in referenced:
+            fsio.unlink(entry)
+
+
 def save_tree(tree: TreeIndex, path: "str | Path",
               index_type: str = "tree",
               extra_arrays: "dict[str, np.ndarray] | None" = None,
               extra_manifest: "dict | None" = None) -> Path:
-    """Write a built :class:`TreeIndex` as a versioned snapshot directory.
+    """Write a built :class:`TreeIndex` as a crash-consistent snapshot.
 
     Returns the snapshot path.  ``index_type`` records which wrapper the
     snapshot restores to (``"sofa"``, ``"messi"`` or the bare ``"tree"``).
     ``extra_arrays``/``extra_manifest`` let :func:`save_dynamic` persist the
     delta/tombstone payload and its manifest section next to the base tree.
+
+    The save commits atomically: a fresh snapshot appears via one directory
+    rename, an in-place re-save via one manifest rename — a crash at any
+    point leaves either the previous state or the complete new one (see the
+    module docstring for the protocol).
     """
     if not tree.is_built:
         raise IndexError_("only a built index can be saved")
@@ -196,13 +373,7 @@ def save_tree(tree: TreeIndex, path: "str | Path",
     summarization_config, summarization_arrays = summarization.snapshot_state()
 
     path = Path(path)
-    path.mkdir(parents=True, exist_ok=True)
-    existing = path / MANIFEST_NAME
-    if any(path.iterdir()) and not existing.exists():
-        raise IndexError_(
-            f"refusing to write snapshot into non-empty directory {path} "
-            "that is not an existing snapshot"
-        )
+    previous_manifest = _existing_snapshot_manifest(path)
 
     arrays = dict(_flatten_tree(tree))
     arrays["values"] = tree.dataset.values
@@ -216,20 +387,26 @@ def save_tree(tree: TreeIndex, path: "str | Path",
             )
         arrays.update(extra_arrays)
 
-    # Write-to-temp-then-rename, one file at a time.  The rename replaces the
-    # directory entry while any mapped old inode stays alive, so re-saving a
-    # snapshot *in place* is safe even while a mmap-loaded index (possibly
-    # this very one) is still reading the old files; a crash mid-save leaves
-    # either the complete old file or the complete new one, never a torn mix.
+    generation = 1 if previous_manifest is None else (
+        int(previous_manifest.get("generation", 1)) + 1)
+    suffix = "" if previous_manifest is None else f".g{generation}"
+    payloads: dict[str, bytes] = {}
+    file_map: dict[str, str] = {}
+    checksums: dict[str, str] = {}
     for name, array in arrays.items():
-        temporary = path / f"{name}.tmp.npy"
-        np.save(temporary, np.ascontiguousarray(array))
-        temporary.replace(path / f"{name}.npy")
+        data = _npy_bytes(array)
+        filename = f"{name}{suffix}.npy"
+        payloads[filename] = data
+        file_map[name] = filename
+        checksums[name] = _crc32_hex(data)
 
     manifest = {
         "format": FORMAT_MAGIC,
         "version": FORMAT_VERSION,
         "index_type": index_type,
+        "generation": generation,
+        "files": file_map,
+        "checksums": checksums,
         "tree": {
             "leaf_size": tree.leaf_size,
             "split_policy": tree.split_policy,
@@ -253,11 +430,11 @@ def save_tree(tree: TreeIndex, path: "str | Path",
     }
     if extra_manifest:
         manifest.update(extra_manifest)
-    temporary = path / f"{MANIFEST_NAME}.tmp"
-    with open(temporary, "w", encoding="utf-8") as handle:
-        json.dump(manifest, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    temporary.replace(path / MANIFEST_NAME)
+
+    if previous_manifest is None:
+        _commit_fresh(path, payloads, manifest)
+    else:
+        _commit_in_place(path, payloads, manifest, previous_manifest)
     return path
 
 
@@ -265,7 +442,7 @@ def save_tree(tree: TreeIndex, path: "str | Path",
 
 
 def read_manifest(path: "str | Path") -> dict:
-    """Read and validate a snapshot manifest (format magic and version)."""
+    """Read and validate a snapshot manifest (magic, version, checksum)."""
     path = Path(path)
     manifest_path = path / MANIFEST_NAME
     if not manifest_path.is_file():
@@ -290,6 +467,13 @@ def read_manifest(path: "str | Path") -> dict:
             f"only supports versions up to {FORMAT_VERSION}; upgrade the "
             "library or re-save the index with this version"
         )
+    stored = manifest.get("manifest_checksum")
+    if stored is not None and stored != manifest_checksum(manifest):
+        raise CorruptionError(
+            f"snapshot manifest {manifest_path} fails its checksum "
+            f"(stored {stored}, computed {manifest_checksum(manifest)}); "
+            "the manifest is corrupt or was edited without re-stamping"
+        )
     required = {
         "arrays": (),
         "summarization": ("type",),
@@ -310,14 +494,50 @@ def read_manifest(path: "str | Path") -> dict:
     return manifest
 
 
-def _load_arrays(path: Path, names: list[str], mmap: bool) -> dict[str, np.ndarray]:
+def _check_verify(verify: str) -> str:
+    if verify not in VERIFY_MODES:
+        raise InvalidParameterError(
+            f"verify must be one of {VERIFY_MODES}, got {verify!r}")
+    return verify
+
+
+def _load_arrays(path: Path, names: list[str], manifest: dict, mmap: bool,
+                 verify: str) -> dict[str, np.ndarray]:
+    """Open every named array, verifying per-file checksums as configured.
+
+    ``verify="eager"`` checksums every payload (reads all bytes, even the
+    ones that would otherwise be lazily paged in); ``"lazy"`` checksums only
+    the payloads this load materializes anyway — with ``mmap=True`` the big
+    row-major matrices are skipped, keeping warm loads O(structure) cheap.
+    Missing and truncated files raise typed errors naming the file.
+    """
+    files = manifest.get("files") or {}
+    checksums = manifest.get("checksums") or {}
     arrays = {}
     for name in names:
-        array_path = path / f"{name}.npy"
+        filename = files.get(name, f"{name}.npy")
+        array_path = path / filename
         if not array_path.is_file():
-            raise IndexError_(f"snapshot {path} is missing array file {name}.npy")
-        mode = "r" if (mmap and name in _MMAP_ARRAYS) else None
-        arrays[name] = np.load(array_path, mmap_mode=mode)
+            raise IndexError_(f"snapshot {path} is missing array file {filename}")
+        use_mmap = mmap and name in _MMAP_ARRAYS
+        expected = checksums.get(name)
+        if expected is not None and (verify == "eager"
+                                     or (verify == "lazy" and not use_mmap)):
+            actual = _file_crc32_hex(array_path)
+            if actual != expected:
+                raise CorruptionError(
+                    f"snapshot array file {array_path} fails its checksum "
+                    f"(stored {expected}, computed {actual}); the payload is "
+                    "corrupt — restore the snapshot or re-save the index"
+                )
+        try:
+            arrays[name] = np.load(array_path,
+                                   mmap_mode="r" if use_mmap else None)
+        except (ValueError, OSError, EOFError) as error:
+            raise CorruptionError(
+                f"snapshot array file {array_path} is truncated or not a "
+                f"valid .npy payload: {error}"
+            ) from None
     return arrays
 
 
@@ -369,19 +589,23 @@ def _restore_nodes(arrays: dict, leaf_payloads: list[LeafNode]) -> list:
 
 
 def load_tree(path: "str | Path", mmap: bool = True,
-              manifest: dict | None = None) -> TreeIndex:
+              manifest: dict | None = None, verify: str = "lazy") -> TreeIndex:
     """Load a snapshot back into a fully built :class:`TreeIndex`.
 
     With ``mmap=True`` (the default) the value matrix, word matrix and
     interval matrices are memory-mapped read-only; leaf payloads become
     zero-copy row slices of those maps, so loading touches only the structure
     arrays and the first query pays the page-in cost of exactly the data it
-    prunes down to.
+    prunes down to.  ``verify`` controls payload checksum verification:
+    ``"eager"`` checks everything, ``"lazy"`` (default) checks what the load
+    materializes anyway, ``"off"`` skips checks.
     """
     path = Path(path)
+    _check_verify(verify)
     if manifest is None:
         manifest = read_manifest(path)
-    arrays = _load_arrays(path, list(manifest["arrays"]), mmap=mmap)
+    arrays = _load_arrays(path, list(manifest["arrays"]), manifest,
+                          mmap=mmap, verify=verify)
     summarization = _restore_summarization(manifest, arrays)
 
     tree_config = manifest["tree"]
@@ -489,7 +713,7 @@ def save_index(index: "SofaIndex | MessiIndex | TreeIndex",
 
 
 def load_index(path: "str | Path", mmap: bool = True,
-               expected_type: str | None = None):
+               expected_type: str | None = None, verify: str = "lazy"):
     """Load a snapshot into the index object it was saved from.
 
     Returns a :class:`SofaIndex`, :class:`MessiIndex`, bare
@@ -498,7 +722,8 @@ def load_index(path: "str | Path", mmap: bool = True,
     ``expected_type`` (one of ``"sofa"``, ``"messi"``, ``"tree"``) makes
     mismatches a clear error — used by ``SofaIndex.load`` /
     ``MessiIndex.load``.  A static loader refuses a dynamic snapshot with
-    pending writes rather than silently dropping them.
+    pending writes rather than silently dropping them.  ``verify`` is the
+    payload checksum mode (see :func:`load_tree`).
     """
     manifest = read_manifest(path)
     index_type = manifest.get("index_type", "tree")
@@ -512,14 +737,15 @@ def load_index(path: "str | Path", mmap: bool = True,
         pending = (int(dynamic_section.get("delta_count", 0))
                    + int(dynamic_section.get("base_dead", 0)))
         if expected_type is None:
-            return load_dynamic(path, mmap=mmap, manifest=manifest)
+            return load_dynamic(path, mmap=mmap, manifest=manifest,
+                                verify=verify)
         if pending:
             raise IndexError_(
                 f"snapshot {path} holds a dynamic index with pending writes "
                 f"(buffered inserts or tombstones); load it with "
                 "DynamicIndex.load or repro.load_index to keep them"
             )
-    tree = load_tree(path, mmap=mmap, manifest=manifest)
+    tree = load_tree(path, mmap=mmap, manifest=manifest, verify=verify)
     if index_type == "tree":
         return tree
     wrapper_cls = _WRAPPERS.get(index_type)
@@ -532,7 +758,7 @@ def load_index(path: "str | Path", mmap: bool = True,
     return index
 
 
-# ------------------------------------------------------------ dynamic (v2)
+# ------------------------------------------------------------ dynamic (v2+)
 
 
 def save_dynamic(dynamic, path: "str | Path") -> Path:
@@ -541,6 +767,9 @@ def save_dynamic(dynamic, path: "str | Path") -> Path:
     The base tree is stored exactly like a static snapshot; the delta buffer
     (values + quantization intervals + aliveness) and the base tombstone set
     ride along as extra arrays, described by a ``dynamic`` manifest section.
+    When the index has a write-ahead log attached, the manifest records the
+    last WAL sequence number the snapshot covers (``wal.applied_lsn``), so
+    recovery replays only newer records.
     """
     state = dynamic._state
     delta_count = state.delta_count
@@ -558,30 +787,37 @@ def save_dynamic(dynamic, path: "str | Path") -> Path:
             "delta_dead": state.delta_dead,
         },
     }
+    wal = getattr(dynamic, "_wal", None)
+    if wal is not None:
+        extra_manifest["wal"] = {"applied_lsn": int(wal.last_lsn)}
     return save_tree(state.tree, path, index_type=state.index_type,
                      extra_arrays=extra_arrays, extra_manifest=extra_manifest)
 
 
 def load_dynamic(path: "str | Path", mmap: bool = True,
-                 manifest: dict | None = None, **options):
+                 manifest: dict | None = None, verify: str = "lazy",
+                 **options):
     """Load any snapshot into a :class:`~repro.index.dynamic.DynamicIndex`.
 
-    Dynamic (v2) snapshots restore the delta buffer and both tombstone sets
+    Dynamic (v2+) snapshots restore the delta buffer and both tombstone sets
     — the serving process resumes mid-ingest with the same global row ids.
     Static snapshots, including every format-v1 snapshot, take the upgrade
     path: they load as a compacted index with an empty delta.  ``options``
-    are forwarded to the ``DynamicIndex`` constructor.
+    are forwarded to the ``DynamicIndex`` constructor.  To also replay a
+    write-ahead log over the snapshot, use
+    :meth:`~repro.index.dynamic.DynamicIndex.recover`.
     """
     from repro.index.dynamic import DynamicIndex
 
     path = Path(path)
+    _check_verify(verify)
     if manifest is None:
         manifest = read_manifest(path)
     index_type = manifest.get("index_type", "tree")
-    tree = load_tree(path, mmap=mmap, manifest=manifest)
+    tree = load_tree(path, mmap=mmap, manifest=manifest, verify=verify)
     dynamic_section = manifest.get("dynamic")
     if dynamic_section is None:
-        # v1 (or static v2) upgrade path: a compacted index, empty delta.
+        # v1 (or static v2+) upgrade path: a compacted index, empty delta.
         word_length = int(np.asarray(tree.summarization.weights).shape[0])
         return DynamicIndex._restore(
             tree, index_type,
@@ -591,7 +827,8 @@ def load_dynamic(path: "str | Path", mmap: bool = True,
             delta_upper=np.empty((0, word_length)),
             delta_alive=np.empty(0, dtype=bool),
             **options)
-    arrays = _load_arrays(path, list(_DYNAMIC_ARRAYS), mmap=False)
+    arrays = _load_arrays(path, list(_DYNAMIC_ARRAYS), manifest,
+                          mmap=False, verify=verify)
     delta_count = int(dynamic_section.get("delta_count",
                                           arrays["delta_values"].shape[0]))
     for name in ("delta_values", "delta_lower", "delta_upper", "delta_alive"):

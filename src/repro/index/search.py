@@ -67,7 +67,7 @@ from repro.core.distance import (
     squared_euclidean_batch,
     squared_euclidean_batch_abandon,
 )
-from repro.core.errors import SearchError
+from repro.core.errors import InvalidParameterError, SearchError, ValidationError
 from repro.core.normalization import znormalize
 from repro.core.simd import batch_lower_bound
 from repro.index.node import LeafNode
@@ -97,6 +97,10 @@ class SearchStats:
     approximate_time: float = 0.0
     traversal_time: float = 0.0
     leaf_times: list[float] = field(default_factory=list)
+    #: True when a ``timeout_s`` budget expired before refinement finished:
+    #: the answer is the best-so-far at expiry (every reported distance is a
+    #: true distance, but a closer unrefined series may exist).
+    timed_out: bool = False
 
     @property
     def refinement_time(self) -> float:
@@ -129,6 +133,44 @@ class SearchResult:
     @property
     def nearest_distance(self) -> float:
         return float(self.distances[0])
+
+
+def validated_query(query: np.ndarray, expected_length: int) -> np.ndarray:
+    """Convert and validate one query series at the API boundary.
+
+    Raises a typed :class:`~repro.core.errors.ValidationError` (an
+    :class:`~repro.core.errors.IndexError_` *and* a
+    :class:`~repro.core.errors.SearchError`) on non-numeric input, wrong
+    shape/length, or NaN/infinite values — never a numpy error downstream or
+    a silently garbage distance.
+    """
+    try:
+        query = np.asarray(query, dtype=np.float64)
+    except (TypeError, ValueError) as error:
+        raise ValidationError(f"query is not numeric: {error}") from None
+    if query.ndim != 1 or query.shape[0] != expected_length:
+        raise ValidationError(
+            f"query must be a series of length {expected_length}, "
+            f"got shape {query.shape}"
+        )
+    if not np.isfinite(query).all():
+        raise ValidationError("query contains NaN or infinite values")
+    return query
+
+
+def resolve_deadline(timeout_s: "float | None") -> "float | None":
+    """Turn an optional per-call time budget into a monotonic deadline."""
+    if timeout_s is None:
+        return None
+    if not timeout_s > 0:
+        raise InvalidParameterError(
+            f"timeout_s must be positive, got {timeout_s}")
+    return time.monotonic() + float(timeout_s)
+
+
+def deadline_expired(deadline: "float | None") -> bool:
+    """Whether a search budget has run out (``None`` = no budget)."""
+    return deadline is not None and time.monotonic() >= deadline
 
 
 def finalize_result(query: np.ndarray, values: np.ndarray, rows: np.ndarray,
@@ -350,22 +392,30 @@ class ExactSearcher:
     # ------------------------------------------------------------- public
 
     def knn(self, query: np.ndarray, k: int = 1,
-            num_workers: "int | None" = None) -> SearchResult:
+            num_workers: "int | None" = None,
+            timeout_s: "float | None" = None) -> SearchResult:
         """Exact k nearest neighbours of ``query`` under the (z-)ED.
 
         ``num_workers`` threads drain the query's own surviving-leaf queue
         against a shared best-so-far (``None`` = the ``REPRO_NUM_WORKERS``
         process default), cutting single-query latency on multi-core
         machines; the answer is bit-identical for every worker count.
+
+        ``timeout_s`` bounds the query's wall time: when the budget expires
+        mid-refinement the current best-so-far is finalized and returned with
+        ``stats.timed_out=True`` (every reported distance is exact; the set
+        may miss a closer unrefined series) instead of running to completion.
         """
         if k < 1:
             raise SearchError(f"k must be >= 1, got {k}")
+        deadline = resolve_deadline(timeout_s)
         num_workers = resolve_num_workers(num_workers)
         delta = self._delta_source() if self._delta_source is not None else None
-        return self._knn_under_delta(query, k, num_workers, delta)
+        return self._knn_under_delta(query, k, num_workers, delta,
+                                     deadline=deadline)
 
     def _knn_under_delta(self, query: np.ndarray, k: int, num_workers: int,
-                         delta) -> SearchResult:
+                         delta, deadline: "float | None" = None) -> SearchResult:
         """The engine behind :meth:`knn`, with the dynamic overlay pinned.
 
         The batched engine's intra-query fallback calls this directly so a
@@ -377,11 +427,7 @@ class ExactSearcher:
                 f"k={k} exceeds the number of "
                 f"{'indexed' if delta is None else 'surviving'} series ({available})"
             )
-        query = np.asarray(query, dtype=np.float64)
-        if query.ndim != 1 or query.shape[0] != self.index.dataset.series_length:
-            raise SearchError(
-                f"query must be a series of length {self.index.dataset.series_length}"
-            )
+        query = validated_query(query, self.index.dataset.series_length)
         if self.normalize_queries:
             query = znormalize(query)
 
@@ -400,13 +446,17 @@ class ExactSearcher:
             # machinery and filter-and-refine over the flat series directory.
             if num_workers > 1:
                 self._flat_search_parallel(query, query_summary, heap, stats,
-                                           delta, num_workers)
+                                           delta, num_workers,
+                                           deadline=deadline)
             else:
-                self._flat_search(query, query_summary, heap, stats, delta=delta)
+                self._flat_search(query, query_summary, heap, stats,
+                                  delta=delta, deadline=deadline)
         else:
             start = time.perf_counter()
             seed_leaf = self._approximate_descent(query_word, query_summary)
             if seed_leaf is not None:
+                # The seed refinement ignores the deadline: without at least
+                # one refined leaf there is no best-so-far to finalize.
                 self._refine_leaves(query, query_summary, [seed_leaf], heap,
                                     stats, record_time=False, delta=delta)
             stats.approximate_time = time.perf_counter() - start
@@ -418,13 +468,14 @@ class ExactSearcher:
                 stats.traversal_time = time.perf_counter() - start
                 self._drain_queue_parallel(query, query_summary, ordered_leaves,
                                            ordered_bounds, heap, stats, delta,
-                                           num_workers)
+                                           num_workers, deadline=deadline)
             else:
                 # The delta is one extra pseudo-leaf, refined right after the
                 # seed so its series help tighten the BSF before traversal
                 # prunes.
                 if delta is not None:
-                    self._refine_delta(query, query_summary, heap, stats, delta)
+                    self._refine_delta(query, query_summary, heap, stats, delta,
+                                       deadline=deadline)
 
                 start = time.perf_counter()
                 ordered_leaves, ordered_bounds = self._collect_leaves(
@@ -432,7 +483,8 @@ class ExactSearcher:
                 stats.traversal_time = time.perf_counter() - start
 
                 self._process_queue(query, query_summary, ordered_leaves,
-                                    ordered_bounds, heap, stats, delta=delta)
+                                    ordered_bounds, heap, stats, delta=delta,
+                                    deadline=deadline)
 
         rows = np.array([index for _, index in heap.sorted_items()], dtype=np.int64)
         return finalize_result(query, self.index.dataset.values, rows, stats,
@@ -466,11 +518,7 @@ class ExactSearcher:
                 "approximate_knn does not answer over a pending dynamic delta; "
                 "compact() the index first"
             )
-        query = np.asarray(query, dtype=np.float64)
-        if query.ndim != 1 or query.shape[0] != self.index.dataset.series_length:
-            raise SearchError(
-                f"query must be a series of length {self.index.dataset.series_length}"
-            )
+        query = validated_query(query, self.index.dataset.series_length)
         if self.normalize_queries:
             query = znormalize(query)
 
@@ -499,7 +547,8 @@ class ExactSearcher:
         return finalize_result(query, self.index.dataset.values, rows_, stats)
 
     def knn_batch(self, queries: np.ndarray, k: int = 1,
-                  num_workers: "int | None" = None) -> list[SearchResult]:
+                  num_workers: "int | None" = None,
+                  timeout_s: "float | None" = None) -> list[SearchResult]:
         """Exact k-NN of a batch of queries (one per row), answered together.
 
         Delegates to the :class:`~repro.index.batch_search.BatchSearcher`,
@@ -525,7 +574,9 @@ class ExactSearcher:
             self._batch_searcher = BatchSearcher(
                 self.index, normalize_queries=self.normalize_queries,
                 delta_source=self._delta_source, intra_searcher=self, **options)
-        return self._batch_searcher.knn_batch(queries, k=k, num_workers=num_workers)
+        return self._batch_searcher.knn_batch(queries, k=k,
+                                              num_workers=num_workers,
+                                              timeout_s=timeout_s)
 
     # ------------------------------------------------------ approximate NN
 
@@ -562,7 +613,8 @@ class ExactSearcher:
         return bounds, rows
 
     def _flat_search(self, query: np.ndarray, query_summary: np.ndarray, heap,
-                     stats: SearchStats, delta=None, block_size: int = 128) -> None:
+                     stats: SearchStats, delta=None, block_size: int = 128,
+                     deadline: "float | None" = None) -> None:
         """Filter-and-refine over the flat per-series directory.
 
         The per-series lower bounds are computed in one vectorized call and
@@ -578,7 +630,8 @@ class ExactSearcher:
 
         self._refine_candidates(query, rows, bounds,
                                 self._flat_gather(rows, delta), heap, stats,
-                                block_size=block_size, time_blocks=True)
+                                block_size=block_size, time_blocks=True,
+                                deadline=deadline)
 
     def _flat_gather(self, rows: np.ndarray, delta):
         """Value gather over flat-directory candidate positions."""
@@ -589,7 +642,8 @@ class ExactSearcher:
 
     def _flat_search_parallel(self, query: np.ndarray, query_summary: np.ndarray,
                               heap: SharedKnnHeap, stats: SearchStats, delta,
-                              num_workers: int, block_size: int = 128) -> None:
+                              num_workers: int, block_size: int = 128,
+                              deadline: "float | None" = None) -> None:
         """Flat filter-and-refine with the sorted directory drained by workers.
 
         Same bounds and candidates as :meth:`_flat_search`; the bound-sorted
@@ -613,10 +667,14 @@ class ExactSearcher:
                   for position in range(0, order.size, block_size)]
 
         def process(block: np.ndarray, worker_stats: SearchStats) -> None:
+            if deadline_expired(deadline):
+                worker_stats.timed_out = True
+                return
             self._refine_candidates(query, rows[block], bounds[block],
                                     lambda selected: gather(block[selected]),
                                     heap, worker_stats,
-                                    block_size=block_size, time_blocks=True)
+                                    block_size=block_size, time_blocks=True,
+                                    deadline=deadline)
 
         merge_search_stats(stats, self._worker_pool(num_workers).map_shared(
             process, blocks, make_state=SearchStats))
@@ -683,7 +741,8 @@ class ExactSearcher:
     def _refine_candidates(self, query: np.ndarray, rows: np.ndarray,
                            bounds: np.ndarray, gather, heap,
                            stats: SearchStats, block_size: int = 32,
-                           time_blocks: bool = False) -> None:
+                           time_blocks: bool = False,
+                           deadline: "float | None" = None) -> None:
         """Blocked best-so-far refinement shared by every candidate source.
 
         This is the one copy of the BSF-refresh loop that used to be
@@ -700,7 +759,9 @@ class ExactSearcher:
         bounds, and ``gather(block)`` returns the series values of candidate
         positions ``block``.  ``time_blocks`` records one work-item time per
         block (the flat path's virtual-core granularity) instead of leaving
-        timing to the caller.
+        timing to the caller.  An expired ``deadline`` stops between blocks
+        with ``stats.timed_out`` set — the heap keeps every distance already
+        refined, which is the best-so-far the timed-out query finalizes.
         """
         threshold = heap.threshold
         candidates = np.flatnonzero(self._admissible(bounds, threshold))
@@ -709,6 +770,9 @@ class ExactSearcher:
         # Visit the most promising candidates first so the BSF tightens fast.
         candidates = candidates[np.argsort(bounds[candidates])]
         for block_start in range(0, candidates.size, block_size):
+            if deadline_expired(deadline):
+                stats.timed_out = True
+                return
             threshold = heap.threshold
             block = candidates[block_start:block_start + block_size]
             block = block[self._admissible(bounds[block], threshold)]
@@ -725,7 +789,8 @@ class ExactSearcher:
 
     def _process_queue(self, query: np.ndarray, query_summary: np.ndarray,
                        ordered_leaves: list[LeafNode], ordered_bounds: np.ndarray,
-                       heap, stats: SearchStats, delta=None) -> None:
+                       heap, stats: SearchStats, delta=None,
+                       deadline: "float | None" = None) -> None:
         """Visit leaves in lower-bound order and refine them in small groups.
 
         Consecutive small leaves (frequent at reproduction scale, where root
@@ -737,6 +802,9 @@ class ExactSearcher:
         position = 0
         total = len(ordered_leaves)
         while position < total:
+            if deadline_expired(deadline):
+                stats.timed_out = True
+                return
             threshold = heap.threshold
             if ordered_bounds[position] > threshold:
                 # Leaves are ordered by lower bound, so everything that
@@ -748,7 +816,8 @@ class ExactSearcher:
             group, position = self._take_group(ordered_leaves, ordered_bounds,
                                                position, threshold)
             self._refine_leaves(query, query_summary, group, heap, stats,
-                                record_time=True, delta=delta)
+                                record_time=True, delta=delta,
+                                deadline=deadline)
 
     def _take_group(self, ordered_leaves: list[LeafNode],
                     ordered_bounds: np.ndarray, position: int,
@@ -779,7 +848,8 @@ class ExactSearcher:
                               ordered_leaves: list[LeafNode],
                               ordered_bounds: np.ndarray, heap: SharedKnnHeap,
                               stats: SearchStats, delta,
-                              num_workers: int) -> None:
+                              num_workers: int,
+                              deadline: "float | None" = None) -> None:
         """Drain the lower-bound-ordered leaf queue with ``num_workers`` threads.
 
         The queue is cut into work items up front — static groups of
@@ -806,9 +876,15 @@ class ExactSearcher:
             items.append((min_bound, group))
 
         def process(item, worker_stats: SearchStats) -> None:
+            if deadline_expired(deadline):
+                # Checked at claim time: workers stop picking up new items
+                # once the budget is gone, and the shared heap keeps every
+                # already-refined distance as the finalized best-so-far.
+                worker_stats.timed_out = True
+                return
             if item is None:
                 self._refine_delta(query, query_summary, heap, worker_stats,
-                                   delta)
+                                   delta, deadline=deadline)
                 return
             min_bound, group = item
             if min_bound > heap.threshold:
@@ -819,14 +895,16 @@ class ExactSearcher:
                 worker_stats.leaves_pruned_in_queue += len(group)
                 return
             self._refine_leaves(query, query_summary, group, heap, worker_stats,
-                                record_time=True, delta=delta)
+                                record_time=True, delta=delta,
+                                deadline=deadline)
 
         merge_search_stats(stats, self._worker_pool(num_workers).map_shared(
             process, items, make_state=SearchStats))
 
     def _refine_leaves(self, query: np.ndarray, query_summary: np.ndarray,
                        leaves: list[LeafNode], heap, stats: SearchStats,
-                       record_time: bool, delta=None) -> None:
+                       record_time: bool, delta=None,
+                       deadline: "float | None" = None) -> None:
         """Filter leaves by per-series lower bound, then refine exactly.
 
         One leaf or a whole group: several consecutive small leaves cost one
@@ -850,12 +928,13 @@ class ExactSearcher:
         values = self.index.dataset.values
         self._refine_candidates(query, indices, bounds,
                                 lambda block: values[indices[block]],
-                                heap, stats)
+                                heap, stats, deadline=deadline)
         if record_time:
             stats.leaf_times.append(time.perf_counter() - start)
 
     def _refine_delta(self, query: np.ndarray, query_summary: np.ndarray,
-                      heap, stats: SearchStats, delta) -> None:
+                      heap, stats: SearchStats, delta,
+                      deadline: "float | None" = None) -> None:
         """Refine the dynamic delta buffer as one extra pseudo-leaf.
 
         The buffered series are filtered with the same per-series lower-bound
@@ -870,5 +949,6 @@ class ExactSearcher:
         bounds[~delta.alive] = np.inf
         stats.series_lower_bounds += delta.rows.shape[0]
         self._refine_candidates(query, delta.rows, bounds,
-                                lambda block: delta.values[block], heap, stats)
+                                lambda block: delta.values[block], heap, stats,
+                                deadline=deadline)
         stats.leaf_times.append(time.perf_counter() - start)

@@ -38,6 +38,8 @@ def merge_search_stats(into: "SearchStats",
         into.series_lower_bounds += part.series_lower_bounds
         into.exact_distances += part.exact_distances
         into.leaf_times.extend(part.leaf_times)
+        # Any worker hitting the search deadline marks the whole query.
+        into.timed_out = into.timed_out or part.timed_out
     return into
 
 

@@ -590,16 +590,19 @@ class TreeIndex:
         return self
 
     @classmethod
-    def load(cls, path, mmap: bool = True) -> "TreeIndex":
+    def load(cls, path, mmap: bool = True, verify: str = "lazy") -> "TreeIndex":
         """Load a snapshot back into a fully built tree.
 
         ``mmap=True`` memory-maps the large payload arrays (values, words,
         quantization intervals) read-only instead of copying them; loaded
         trees answer queries bit-identically to freshly built ones.
+        ``verify`` controls checksum verification of the payload arrays
+        (``"eager"``, ``"lazy"`` or ``"off"``; see
+        :func:`repro.index.persistence.load_tree`).
         """
         from repro.index.persistence import load_tree
 
-        return load_tree(path, mmap=mmap)
+        return load_tree(path, mmap=mmap, verify=verify)
 
     # ----------------------------------------------------------- inspection
 

@@ -1,0 +1,407 @@
+"""Write-ahead log: durable inserts and deletes for :class:`DynamicIndex`.
+
+A snapshot makes the *compacted* state durable; everything buffered after the
+last ``save`` — every acked ``insert``/``insert_batch``/``delete`` — lives
+only in process memory and dies with the process.  The write-ahead log closes
+that gap the way every production index service does: each write appends one
+length-prefixed, checksummed record to an append-only segment file *before*
+the in-memory state mutates and the call acks.  After a crash,
+:meth:`~repro.index.dynamic.DynamicIndex.recover` loads the last snapshot and
+replays the records it does not already cover, reproducing the lost index
+**bit-identically** — inserts are logged post-normalization as raw float64
+rows, so replay appends the exact bytes the original call buffered, and
+compaction is deterministic, so replaying an ``OP_COMPACT`` record rebuilds
+the very tree the crashed process swapped in.
+
+Log format
+----------
+A log is a directory of segment files ``wal-000001.log, wal-000002.log, ...``
+(rotation bounds single-file size; compaction and checkpoints rotate).  Each
+segment starts with a 16-byte header (magic, format version, segment index)
+followed by records::
+
+    <Q lsn> <B op> <I payload_len> <I crc32>  payload...
+
+LSNs increase by one across the whole log, never reset — a snapshot records
+the last LSN it covers (``wal.applied_lsn`` in the manifest) and recovery
+replays strictly newer records.  The CRC covers (lsn, op, payload), so a
+flipped bit anywhere in a record is detected as a typed
+:class:`~repro.core.errors.CorruptionError` naming the file and offset.
+
+Torn tails: an *incomplete* record at the end of the **last** segment is the
+signature of a crash mid-append — it is silently truncated on the next open
+(the write never acked, so nothing is lost).  A *complete* record with a bad
+CRC, or any malformed record in a non-last segment, is corruption and raises.
+
+Fsync policies
+--------------
+``always``
+    fsync after every record — an acked write survives power loss.
+``batch`` (default)
+    fsync when unsynced bytes exceed ``batch_bytes`` (and on
+    :meth:`~WriteAheadLog.sync`/rotation/close) — an acked write survives a
+    *process* crash (the bytes are in the OS page cache) and bounds
+    power-loss exposure to one batch.
+``off``
+    never fsync — still crash-consistent (the tail truncation rule applies),
+    but durability is whatever the OS flushes.
+
+``OP_COMPACT`` records are always fsynced regardless of policy: they change
+the meaning of every later row id, so replay must never see the ids without
+the compact that renumbered them.
+
+All durable effects go through :mod:`repro.core.fsio`, so the reliability
+harness can crash an append at any enumerated point and prove the
+old-or-new/acked-survives contract.
+"""
+
+from __future__ import annotations
+
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import fsio
+from repro.core.errors import CorruptionError, InvalidParameterError, WalError
+
+#: First bytes of every segment file.
+WAL_MAGIC = b"REPROWAL"
+
+#: Segment format version (bump on incompatible record-layout changes).
+WAL_VERSION = 1
+
+#: Supported fsync policies (see the module docstring).
+FSYNC_POLICIES = ("always", "batch", "off")
+
+#: Record operation codes.
+OP_INSERT = 1
+OP_DELETE = 2
+OP_COMPACT = 3
+
+_FILE_HEADER = struct.Struct("<8sII")   # magic, version, segment index
+_RECORD_HEADER = struct.Struct("<QBII")  # lsn, op, payload length, crc32
+_INSERT_HEADER = struct.Struct("<II")    # rows, series length
+_DELETE_PAYLOAD = struct.Struct("<q")    # global row id
+_SEGMENT_GLOB = "wal-*.log"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One decoded log record.
+
+    ``values`` is the logged (already normalized) float64 matrix of an
+    insert; ``row`` the global id of a delete; compact records carry nothing.
+    """
+
+    lsn: int
+    op: int
+    values: "np.ndarray | None" = None
+    row: "int | None" = None
+
+
+def _record_crc(lsn: int, op: int, payload: bytes) -> int:
+    return zlib.crc32(payload, zlib.crc32(struct.pack("<QB", lsn, op))) & 0xFFFFFFFF
+
+
+def _segment_paths(directory: Path) -> "list[Path]":
+    return sorted(directory.glob(_SEGMENT_GLOB))
+
+
+def _read_segment(path: Path, is_last: bool):
+    """Parse one segment: ``(raw records, valid_end, torn)``.
+
+    ``raw records`` are ``(lsn, op, payload)`` triples; ``valid_end`` is the
+    byte offset after the last complete record (0 when even the file header
+    is incomplete); ``torn`` flags an incomplete tail that the next
+    append-open should truncate.  Only the *last* segment may be torn —
+    earlier segments were sealed by rotation, so damage there is corruption.
+    """
+    data = path.read_bytes()
+    if len(data) < _FILE_HEADER.size:
+        if is_last:
+            return [], 0, True
+        raise CorruptionError(
+            f"WAL segment {path} is truncated inside its file header"
+        )
+    magic, version, _segment = _FILE_HEADER.unpack_from(data, 0)
+    if magic != WAL_MAGIC:
+        raise CorruptionError(f"{path} is not a WAL segment (bad magic)")
+    if version > WAL_VERSION:
+        raise WalError(
+            f"WAL segment {path} uses format version {version}, but this "
+            f"library only supports versions up to {WAL_VERSION}"
+        )
+    records = []
+    offset = _FILE_HEADER.size
+    total = len(data)
+    while offset < total:
+        if offset + _RECORD_HEADER.size > total:
+            if is_last:
+                return records, offset, True
+            raise CorruptionError(
+                f"WAL segment {path} ends mid-record-header at offset {offset}"
+            )
+        lsn, op, length, crc = _RECORD_HEADER.unpack_from(data, offset)
+        start = offset + _RECORD_HEADER.size
+        end = start + length
+        if end > total:
+            if is_last:
+                return records, offset, True
+            raise CorruptionError(
+                f"WAL segment {path} ends mid-record (lsn {lsn}) at "
+                f"offset {offset}"
+            )
+        payload = data[start:end]
+        if _record_crc(lsn, op, payload) != crc:
+            raise CorruptionError(
+                f"WAL record in {path} at offset {offset} (lsn {lsn}) fails "
+                "its checksum; the log is corrupt"
+            )
+        records.append((lsn, op, payload))
+        offset = end
+    return records, offset, False
+
+
+def _decode(path: Path, lsn: int, op: int, payload: bytes) -> WalRecord:
+    if op == OP_INSERT:
+        if len(payload) < _INSERT_HEADER.size:
+            raise CorruptionError(
+                f"WAL insert record lsn {lsn} in {path} has a short payload"
+            )
+        rows, series_length = _INSERT_HEADER.unpack_from(payload, 0)
+        expected = _INSERT_HEADER.size + rows * series_length * 8
+        if len(payload) != expected:
+            raise CorruptionError(
+                f"WAL insert record lsn {lsn} in {path} declares "
+                f"{rows}x{series_length} values but carries "
+                f"{len(payload) - _INSERT_HEADER.size} payload bytes"
+            )
+        values = np.frombuffer(payload, dtype="<f8",
+                               offset=_INSERT_HEADER.size).reshape(
+                                   rows, series_length).copy()
+        return WalRecord(lsn=lsn, op=op, values=values)
+    if op == OP_DELETE:
+        if len(payload) != _DELETE_PAYLOAD.size:
+            raise CorruptionError(
+                f"WAL delete record lsn {lsn} in {path} has a malformed payload"
+            )
+        return WalRecord(lsn=lsn, op=op, row=_DELETE_PAYLOAD.unpack(payload)[0])
+    if op == OP_COMPACT:
+        return WalRecord(lsn=lsn, op=op)
+    raise CorruptionError(f"WAL record lsn {lsn} in {path} has unknown op {op}")
+
+
+def read_records(directory: "str | Path", after_lsn: int = 0) -> "list[WalRecord]":
+    """Decode every record with ``lsn > after_lsn``, in LSN order.
+
+    Torn tails of the last segment are skipped (never acked); LSNs must be
+    strictly increasing across segments or the log is corrupt.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise WalError(f"{directory} is not a write-ahead-log directory")
+    segments = _segment_paths(directory)
+    out: "list[WalRecord]" = []
+    previous = None
+    for position, segment in enumerate(segments):
+        raw, _end, _torn = _read_segment(segment,
+                                         is_last=position == len(segments) - 1)
+        for lsn, op, payload in raw:
+            if previous is not None and lsn <= previous:
+                raise CorruptionError(
+                    f"WAL {directory} is out of order: lsn {lsn} in "
+                    f"{segment.name} follows lsn {previous}"
+                )
+            previous = lsn
+            if lsn > after_lsn:
+                out.append(_decode(segment, lsn, op, payload))
+    return out
+
+
+class WriteAheadLog:
+    """An append-only, checksummed, segmented log of index writes.
+
+    Opening scans the existing segments (if any) to find the last LSN and
+    truncates a torn tail record left by a crash mid-append.  With
+    ``expect_empty=True`` (how :class:`DynamicIndex` attaches a log to a
+    *live* index) the constructor refuses a log that already holds records —
+    those records describe writes the in-memory index does not have, and
+    appending past them would corrupt recovery; replay them first with
+    :meth:`~repro.index.dynamic.DynamicIndex.recover`.
+
+    All methods are thread-safe (one internal lock); callers that need
+    write-ahead ordering against their own state must hold their write lock
+    around append + mutate, which :class:`DynamicIndex` does.
+    """
+
+    def __init__(self, directory: "str | Path", fsync: str = "batch", *,
+                 batch_bytes: int = 1 << 20,
+                 expect_empty: bool = False) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise InvalidParameterError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
+        if batch_bytes <= 0:
+            raise InvalidParameterError(
+                f"batch_bytes must be positive, got {batch_bytes}")
+        self.directory = Path(directory)
+        self.fsync = fsync
+        self._batch_bytes = int(batch_bytes)
+        self._lock = threading.RLock()
+        self._unsynced = 0
+        self._last_lsn = 0
+        fsio.mkdir(self.directory)
+        segments = _segment_paths(self.directory)
+        if not segments:
+            self._segment_index = 1
+            self._handle = self._create_segment(1)
+            return
+        for segment in segments[:-1]:
+            raw, _end, _torn = _read_segment(segment, is_last=False)
+            if raw:
+                self._last_lsn = raw[-1][0]
+        tail = segments[-1]
+        raw, valid_end, torn = _read_segment(tail, is_last=True)
+        if raw:
+            self._last_lsn = raw[-1][0]
+        if expect_empty and self._last_lsn:
+            raise WalError(
+                f"write-ahead log {self.directory} already holds records up "
+                f"to lsn {self._last_lsn}; replay it over the last snapshot "
+                "with DynamicIndex.recover before attaching a live index"
+            )
+        self._segment_index = int(tail.stem.split("-")[-1])
+        handle = open(tail, "r+b")
+        if valid_end < _FILE_HEADER.size:
+            # Crash while creating the segment itself: rewrite the header.
+            fsio.truncate_handle(handle, 0)
+            fsio.append_bytes(handle, _FILE_HEADER.pack(
+                WAL_MAGIC, WAL_VERSION, self._segment_index))
+            fsio.fsync_handle(handle)
+        elif torn:
+            fsio.truncate_handle(handle, valid_end)
+            fsio.fsync_handle(handle)
+        handle.seek(0, 2)
+        self._handle = handle
+
+    # ------------------------------------------------------------- appending
+
+    @property
+    def last_lsn(self) -> int:
+        """Sequence number of the most recently appended record."""
+        return self._last_lsn
+
+    def append_insert(self, values: np.ndarray) -> int:
+        """Log a batch insert (normalized float64 rows); returns its LSN."""
+        matrix = np.ascontiguousarray(values, dtype="<f8")
+        if matrix.ndim != 2:
+            raise WalError(
+                f"append_insert expects a 2-D matrix, got shape {matrix.shape}")
+        payload = _INSERT_HEADER.pack(matrix.shape[0],
+                                      matrix.shape[1]) + matrix.tobytes()
+        return self._append(OP_INSERT, payload)
+
+    def append_delete(self, row: int) -> int:
+        """Log a tombstone for one global row id; returns its LSN."""
+        return self._append(OP_DELETE, _DELETE_PAYLOAD.pack(int(row)))
+
+    def append_compact(self) -> int:
+        """Log a compaction barrier (always fsynced; renumbers later ids)."""
+        return self._append(OP_COMPACT, b"", force_sync=True)
+
+    def _append(self, op: int, payload: bytes, force_sync: bool = False) -> int:
+        with self._lock:
+            if self._handle is None:
+                raise WalError("write-ahead log is closed")
+            lsn = self._last_lsn + 1
+            record = _RECORD_HEADER.pack(
+                lsn, op, len(payload), _record_crc(lsn, op, payload)) + payload
+            fsio.append_bytes(self._handle, record)
+            self._unsynced += len(record)
+            if (force_sync or self.fsync == "always"
+                    or (self.fsync == "batch"
+                        and self._unsynced >= self._batch_bytes)):
+                fsio.fsync_handle(self._handle)
+                self._unsynced = 0
+            # Bump only after the bytes are in the file: if the append (or a
+            # simulated crash in the harness) raised above, neither the log
+            # nor the caller's state advanced — write-ahead holds.
+            self._last_lsn = lsn
+            return lsn
+
+    def sync(self) -> None:
+        """Force unsynced bytes to stable storage (a durability barrier)."""
+        with self._lock:
+            if self._handle is not None and self._unsynced:
+                fsio.fsync_handle(self._handle)
+                self._unsynced = 0
+
+    # -------------------------------------------------- lifecycle management
+
+    def _create_segment(self, index: int):
+        path = self.directory / f"wal-{index:06d}.log"
+        fsio.write_bytes(path, _FILE_HEADER.pack(WAL_MAGIC, WAL_VERSION, index))
+        fsio.fsync_path(path)
+        fsio.fsync_dir(self.directory)
+        handle = open(path, "r+b")
+        handle.seek(0, 2)
+        return handle
+
+    def rotate(self) -> None:
+        """Seal the current segment and append to a fresh one.
+
+        Old segments are retained (recovery still needs them until the next
+        durable snapshot); :class:`DynamicIndex` rotates on compaction so a
+        segment never spans a generation swap.
+        """
+        with self._lock:
+            if self._handle is None:
+                raise WalError("write-ahead log is closed")
+            fsio.fsync_handle(self._handle)
+            self._handle.close()
+            self._segment_index += 1
+            self._handle = self._create_segment(self._segment_index)
+            self._unsynced = 0
+
+    def checkpoint(self) -> None:
+        """Drop records a durable snapshot now covers.
+
+        Starts a fresh segment (LSNs keep counting) and unlinks every older
+        one.  A crash between the two steps is harmless: leftover records
+        have ``lsn <= applied_lsn`` and replay skips them.
+        """
+        with self._lock:
+            if self._handle is None:
+                raise WalError("write-ahead log is closed")
+            previous = _segment_paths(self.directory)
+            self._handle.close()
+            self._segment_index += 1
+            self._handle = self._create_segment(self._segment_index)
+            self._unsynced = 0
+            for segment in previous:
+                fsio.unlink(segment)
+            fsio.fsync_dir(self.directory)
+
+    def total_bytes(self) -> int:
+        """Bytes currently held across all segments (the log's footprint)."""
+        return sum(segment.stat().st_size
+                   for segment in _segment_paths(self.directory))
+
+    def close(self) -> None:
+        """Flush (under always/batch policies) and close the open segment."""
+        with self._lock:
+            if self._handle is None:
+                return
+            if self._unsynced and self.fsync != "off":
+                fsio.fsync_handle(self._handle)
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -99,8 +99,12 @@ class BackgroundTask:
     def wait(self, timeout: "float | None" = None) -> R:
         """Join the task; return its result or re-raise its exception.
 
-        Raises ``TimeoutError`` if the task is still running after
-        ``timeout`` seconds.
+        A worker failure re-raises the *original* exception object, so its
+        traceback still points into the worker's frames (the ``raise`` here
+        merely appends the join site) — a failed background compaction reads
+        like the synchronous call would.  Raises ``TimeoutError`` if the task
+        is still running after ``timeout`` seconds, so a hung task cannot
+        block shutdown forever; a timed-out wait may be retried.
         """
         self._thread.join(timeout)
         if self._thread.is_alive():
@@ -153,7 +157,11 @@ class WorkerPool:
 
         The results are ordered by worker index (submission order), never by
         completion order, so callers can merge per-worker state
-        deterministically.
+        deterministically.  Drain functions built by :meth:`map` /
+        :meth:`map_shared` never raise (they record failures and return), so
+        every future completes and a persistent executor is always left
+        reusable — a dying worker can neither wedge the queue nor leak a
+        pending future.
         """
         if self.persistent:
             executor = self._ensure_executor()
@@ -163,6 +171,12 @@ class WorkerPool:
             futures = [executor.submit(drain) for _ in range(num_threads)]
             return [future.result() for future in futures]
 
+    @staticmethod
+    def _first_error(errors: "list[tuple[int, BaseException]]") -> BaseException:
+        """The failure at the smallest item position — a deterministic pick
+        when several workers die concurrently, independent of thread timing."""
+        return min(errors, key=lambda pair: pair[0])[1]
+
     def map(self, function: Callable[[T], R], items: Sequence[T] | Iterable[T]) -> list[R]:
         """Apply ``function`` to every item, preserving order.
 
@@ -171,6 +185,12 @@ class WorkerPool:
         items are picked up in input order (submitting longest-first realizes
         a greedy LPT schedule) and a workload of thousands of small items pays
         the executor dispatch cost once per *worker*, not once per item.
+
+        A worker raising mid-drain does not wedge the pool: the failure is
+        recorded, the remaining unclaimed items are cancelled, every other
+        worker exits at its next claim, and the exception at the smallest
+        item position re-raises here (deterministic even when several workers
+        die at once).  The executor stays reusable afterwards.
         """
         items = list(items)
         if self.num_workers == 1 or len(items) <= 1:
@@ -179,15 +199,26 @@ class WorkerPool:
         # itertools.count.__next__ is a single C call, hence atomic under the
         # GIL — a lock-free claim ticket.
         tickets = itertools.count()
+        cancel = threading.Event()
+        errors: "list[tuple[int, BaseException]]" = []
+        errors_lock = threading.Lock()
 
         def drain() -> None:
-            while True:
+            while not cancel.is_set():
                 position = next(tickets)
                 if position >= len(items):
                     return
-                results[position] = function(items[position])
+                try:
+                    results[position] = function(items[position])
+                except BaseException as error:  # noqa: BLE001 — re-raised below
+                    with errors_lock:
+                        errors.append((position, error))
+                    cancel.set()
+                    return
 
         self._run_drains(drain, min(self.num_workers, len(items)))
+        if errors:
+            raise self._first_error(errors)
         return results
 
     def map_shared(self, function: Callable[[T, S], None],
@@ -207,6 +238,10 @@ class WorkerPool:
         guarantees that every item is processed exactly once and that the
         returned per-worker states are ordered by worker index — a
         deterministic merge order independent of thread completion timing.
+
+        Fault tolerance matches :meth:`map`: a raising worker cancels the
+        remaining chunks, the deterministic first exception propagates, and
+        the (persistent) executor survives for the next call.
         """
         if chunk_size < 1:
             raise InvalidParameterError(
@@ -219,17 +254,30 @@ class WorkerPool:
             return [state]
         num_chunks = -(-len(items) // chunk_size)
         tickets = itertools.count()
+        cancel = threading.Event()
+        errors: "list[tuple[int, BaseException]]" = []
+        errors_lock = threading.Lock()
 
         def drain() -> S:
             state = make_state()
-            while True:
+            while not cancel.is_set():
                 chunk = next(tickets)
                 if chunk >= num_chunks:
                     return state
-                for item in items[chunk * chunk_size:(chunk + 1) * chunk_size]:
-                    function(item, state)
+                try:
+                    for item in items[chunk * chunk_size:(chunk + 1) * chunk_size]:
+                        function(item, state)
+                except BaseException as error:  # noqa: BLE001 — re-raised below
+                    with errors_lock:
+                        errors.append((chunk, error))
+                    cancel.set()
+                    return state
+            return state
 
-        return self._run_drains(drain, min(self.num_workers, num_chunks))
+        states = self._run_drains(drain, min(self.num_workers, num_chunks))
+        if errors:
+            raise self._first_error(errors)
+        return states
 
     def starmap(self, function: Callable[..., R], argument_tuples: Iterable[tuple]) -> list[R]:
         """Apply ``function`` to every argument tuple, preserving order."""

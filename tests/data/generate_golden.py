@@ -4,14 +4,21 @@ Run from the repository root:
 
     PYTHONPATH=src python tests/data/generate_golden.py
 
-The fixture pins the on-disk snapshot format: ``golden-messi-v1/`` is a
-format-version-1 snapshot of a small MESSI index over deterministic
-random-walk data, and ``golden-messi-v1.expected.json`` records the queries
-and the exact k-NN answers the snapshot must keep producing.  MESSI (SAX with
-Gaussian breakpoints) is used because its build involves no FFT or sampling,
-so the checked-in arrays are reproducible bit-for-bit.
+The fixtures pin the on-disk snapshot formats that the current reader must
+keep accepting:
 
-Only regenerate the fixture when the snapshot format version is bumped — the
+* ``golden-messi-v1/`` is a format-version-1 snapshot of a small MESSI index
+  over deterministic random-walk data;
+* ``golden-dynamic-v2/`` is a format-version-2 *dynamic* snapshot saved
+  mid-ingest, with a pending delta buffer and tombstones in both the base
+  and the delta;
+* the matching ``*.expected.json`` files record the queries and the exact
+  k-NN answers each snapshot must keep producing.
+
+MESSI (SAX with Gaussian breakpoints) is used because its build involves no
+FFT or sampling, so the checked-in arrays are reproducible bit-for-bit.
+
+Only regenerate the fixtures when the snapshot format version is bumped — the
 whole point of the golden files is that older snapshots keep loading.
 """
 
@@ -29,32 +36,31 @@ from repro.index.messi import MessiIndex
 DATA_DIR = Path(__file__).parent
 SNAPSHOT_DIR = DATA_DIR / "golden-messi-v1"
 EXPECTED_PATH = DATA_DIR / "golden-messi-v1.expected.json"
+DYNAMIC_SNAPSHOT_DIR = DATA_DIR / "golden-dynamic-v2"
+DYNAMIC_EXPECTED_PATH = DATA_DIR / "golden-dynamic-v2.expected.json"
 
 NUM_SERIES = 24
 SERIES_LENGTH = 32
 NUM_QUERIES = 4
 K_VALUES = (1, 3, 5)
 
+#: Keys format v3 (crash-safe storage) added to the manifest.  Stripping
+#: them — plus re-stamping ``version`` — turns a fresh v3 save (whose payload
+#: files carry plain un-suffixed names) into an honest older-format snapshot.
+V3_ONLY_KEYS = ("generation", "files", "checksums", "manifest_checksum", "wal")
 
-def main() -> None:
-    data = random_walk(NUM_SERIES, SERIES_LENGTH, seed=20240214)
-    queries = random_walk(NUM_QUERIES, SERIES_LENGTH, seed=20240215)
-    index = MessiIndex(word_length=8, alphabet_size=16, leaf_size=5).build(data)
 
-    if SNAPSHOT_DIR.exists():
-        shutil.rmtree(SNAPSHOT_DIR)
-    index.save(SNAPSHOT_DIR)
-
-    # The fixture pins the *version-1* layout.  Static snapshots kept the v1
-    # array layout when format v2 added the (optional) dynamic payload, so
-    # re-stamping the manifest keeps the fixture an honest v1 snapshot; if a
-    # future format change breaks this assumption, cut a new golden-*-vN
-    # fixture instead of regenerating this one.
-    manifest_path = SNAPSHOT_DIR / "manifest.json"
+def _downgrade_manifest(snapshot_dir: Path, version: int) -> None:
+    manifest_path = snapshot_dir / "manifest.json"
     manifest = json.loads(manifest_path.read_text())
-    manifest["version"] = 1
-    manifest_path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    manifest["version"] = version
+    for key in V3_ONLY_KEYS:
+        manifest.pop(key, None)
+    manifest_path.write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n")
 
+
+def _record_answers(index, queries: np.ndarray, expected_path: Path) -> None:
     expected = {"queries": queries.tolist(), "answers": {}}
     for k in K_VALUES:
         expected["answers"][str(k)] = [
@@ -64,11 +70,52 @@ def main() -> None:
             }
             for result in (index.knn(query, k=k) for query in queries)
         ]
-    with open(EXPECTED_PATH, "w", encoding="utf-8") as handle:
+    with open(expected_path, "w", encoding="utf-8") as handle:
         json.dump(expected, handle, indent=2)
         handle.write("\n")
+
+
+def generate_static_v1() -> None:
+    data = random_walk(NUM_SERIES, SERIES_LENGTH, seed=20240214)
+    queries = random_walk(NUM_QUERIES, SERIES_LENGTH, seed=20240215)
+    index = MessiIndex(word_length=8, alphabet_size=16, leaf_size=5).build(data)
+
+    if SNAPSHOT_DIR.exists():
+        shutil.rmtree(SNAPSHOT_DIR)
+    index.save(SNAPSHOT_DIR)
+
+    # The fixture pins the *version-1* layout.  Static snapshots kept the v1
+    # array layout through formats v2 and v3, so downgrading the manifest
+    # keeps the fixture an honest v1 snapshot; if a future format change
+    # breaks this assumption, cut a new golden-*-vN fixture instead of
+    # regenerating this one.
+    _downgrade_manifest(SNAPSHOT_DIR, version=1)
+    _record_answers(index, queries, EXPECTED_PATH)
     print(f"wrote {SNAPSHOT_DIR} and {EXPECTED_PATH}")
 
 
+def generate_dynamic_v2() -> None:
+    base = random_walk(NUM_SERIES, SERIES_LENGTH, seed=20250214)
+    extra = random_walk(6, SERIES_LENGTH, seed=20250215)
+    queries = random_walk(NUM_QUERIES, SERIES_LENGTH, seed=20250216)
+    dynamic = MessiIndex(word_length=8, alphabet_size=16,
+                         leaf_size=5).build(base).dynamic()
+    dynamic.insert_batch(extra)
+    dynamic.delete(2)                   # base tombstone
+    dynamic.delete(NUM_SERIES + 1)      # delta tombstone
+
+    if DYNAMIC_SNAPSHOT_DIR.exists():
+        shutil.rmtree(DYNAMIC_SNAPSHOT_DIR)
+    dynamic.save(DYNAMIC_SNAPSHOT_DIR)
+
+    # A v2 dynamic snapshot is a v3 one minus the crash-safety metadata: a
+    # fresh save writes every payload under its plain (un-suffixed) name,
+    # which is exactly what the v2 reader's filename fallback expects.
+    _downgrade_manifest(DYNAMIC_SNAPSHOT_DIR, version=2)
+    _record_answers(dynamic, queries, DYNAMIC_EXPECTED_PATH)
+    print(f"wrote {DYNAMIC_SNAPSHOT_DIR} and {DYNAMIC_EXPECTED_PATH}")
+
+
 if __name__ == "__main__":
-    main()
+    generate_static_v1()
+    generate_dynamic_v2()

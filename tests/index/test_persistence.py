@@ -34,6 +34,8 @@ from repro.transforms.sax import SAX
 DATA_DIR = Path(__file__).parent.parent / "data"
 GOLDEN_SNAPSHOT = DATA_DIR / "golden-messi-v1"
 GOLDEN_EXPECTED = DATA_DIR / "golden-messi-v1.expected.json"
+GOLDEN_DYNAMIC_SNAPSHOT = DATA_DIR / "golden-dynamic-v2"
+GOLDEN_DYNAMIC_EXPECTED = DATA_DIR / "golden-dynamic-v2.expected.json"
 
 INDEX_CLASSES = {"sofa": SofaIndex, "messi": MessiIndex}
 
@@ -41,6 +43,12 @@ INDEX_CLASSES = {"sofa": SofaIndex, "messi": MessiIndex}
 @pytest.fixture()
 def expected_golden():
     with open(GOLDEN_EXPECTED, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+@pytest.fixture()
+def expected_golden_dynamic():
+    with open(GOLDEN_DYNAMIC_EXPECTED, encoding="utf-8") as handle:
         return json.load(handle)
 
 
@@ -236,6 +244,8 @@ class TestFormatVersioning:
     def _rewrite_manifest(self, path: Path, **overrides) -> None:
         manifest = json.loads((path / "manifest.json").read_text())
         manifest.update(overrides)
+        # Re-stamp so the deliberate edit is not reported as corruption.
+        persistence.stamp_manifest_checksum(manifest)
         (path / "manifest.json").write_text(json.dumps(manifest))
 
     def test_newer_version_raises_index_error(self, snapshot):
@@ -275,6 +285,7 @@ class TestFormatVersioning:
     def test_missing_tree_subkeys_raise_typed_error(self, snapshot):
         manifest = json.loads((snapshot / "manifest.json").read_text())
         del manifest["tree"]["leaf_size"]
+        persistence.stamp_manifest_checksum(manifest)
         (snapshot / "manifest.json").write_text(json.dumps(manifest))
         with pytest.raises(IndexError_, match="missing required key 'tree.leaf_size'"):
             persistence.load_index(snapshot)
@@ -318,6 +329,59 @@ class TestGoldenSnapshot:
         (copy / "manifest.json").write_text(json.dumps(manifest))
         with pytest.raises(IndexError_, match="format version 99"):
             MessiIndex.load(copy)
+
+
+class TestGoldenDynamicV2:
+    """The checked-in format-v2 dynamic fixture must keep loading mid-ingest.
+
+    Format v2 predates the crash-safe storage metadata (``generation``,
+    ``files``, ``checksums``, ``manifest_checksum``) — the v3 reader must
+    fall back to plain filenames and skip checksum verification rather than
+    reject the snapshot.
+    """
+
+    def test_golden_manifest_is_format_v2(self):
+        manifest = persistence.read_manifest(GOLDEN_DYNAMIC_SNAPSHOT)
+        assert manifest["version"] == 2
+        assert manifest["version"] <= persistence.FORMAT_VERSION
+        assert "dynamic" in manifest
+        for v3_key in ("generation", "files", "checksums",
+                       "manifest_checksum"):
+            assert v3_key not in manifest
+
+    def test_golden_v2_restores_pending_writes(self, expected_golden_dynamic):
+        dynamic = DynamicIndex.load(GOLDEN_DYNAMIC_SNAPSHOT)
+        assert dynamic.delta_count == 6
+        assert dynamic.num_surviving == dynamic.num_base + 6 - 2
+        assert dynamic.needs_compaction
+        queries = np.asarray(expected_golden_dynamic["queries"],
+                             dtype=np.float64)
+        for k, per_query in expected_golden_dynamic["answers"].items():
+            for query, answer in zip(queries, per_query):
+                result = dynamic.knn(query, k=int(k))
+                assert result.indices.tolist() == answer["indices"]
+                np.testing.assert_allclose(result.distances,
+                                           answer["distances"],
+                                           rtol=1e-9, atol=1e-12)
+
+    @pytest.mark.parametrize("verify", ["eager", "lazy", "off"])
+    def test_golden_v2_loads_under_every_verify_mode(self, verify):
+        """No checksums recorded → nothing to verify, never a rejection."""
+        dynamic = persistence.load_dynamic(GOLDEN_DYNAMIC_SNAPSHOT,
+                                           verify=verify)
+        assert dynamic.delta_count == 6
+
+    def test_golden_v2_accepts_writes_and_compaction(
+            self, expected_golden_dynamic):
+        dynamic = DynamicIndex.load(GOLDEN_DYNAMIC_SNAPSHOT)
+        queries = np.asarray(expected_golden_dynamic["queries"],
+                             dtype=np.float64)
+        surviving = dynamic.num_surviving
+        inserted = dynamic.insert(queries[0])
+        assert dynamic.knn(queries[0], k=1).nearest_index == inserted
+        dynamic.compact()
+        assert dynamic.delta_count == 0
+        assert dynamic.num_surviving == surviving + 1
 
 
 class TestV1UpgradePath:
@@ -436,6 +500,7 @@ class TestDynamicSnapshots:
         _, path = mid_ingest
         manifest = json.loads((path / "manifest.json").read_text())
         manifest["dynamic"]["delta_count"] = 99
+        persistence.stamp_manifest_checksum(manifest)
         (path / "manifest.json").write_text(json.dumps(manifest))
         with pytest.raises(IndexError_, match="corrupt"):
             DynamicIndex.load(path)

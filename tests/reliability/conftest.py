@@ -1,0 +1,25 @@
+"""Shared fixtures of the reliability suite (see ``fault_harness.py``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import fsio
+from repro.datasets.synthetic import random_walk
+
+from fault_harness import FaultInjector
+
+
+@pytest.fixture()
+def injector():
+    """A fresh :class:`FaultInjector`; always leaves the fsio hook clean."""
+    fault_injector = FaultInjector()
+    yield fault_injector
+    fsio.set_hook(None)
+
+
+@pytest.fixture(scope="session")
+def small_rows() -> np.ndarray:
+    """A deterministic pool of raw series to build tiny indexes from."""
+    return random_walk(64, 32, seed=424242)

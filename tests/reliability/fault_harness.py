@@ -1,0 +1,76 @@
+"""Fault-injection primitives shared by the reliability suite.
+
+The persistence layer and the write-ahead log route every durable effect
+(write, fsync, rename, unlink, ...) through :mod:`repro.core.fsio`.  The
+:class:`FaultInjector` installs an fsio hook that observes those effects in
+order and can raise :class:`SimulatedCrash` immediately *before* a chosen
+one — the state such a crash leaves on disk is exactly what a process dying
+between two durable operations would leave.  Sweeping the crash point over
+every enumerated effect of an operation proves the commit protocols leave
+either the old or the new complete state, never a torn mix.
+"""
+
+from __future__ import annotations
+
+from repro.core import fsio
+
+
+class SimulatedCrash(BaseException):
+    """The injected process death.
+
+    Derives from ``BaseException`` (like ``KeyboardInterrupt``) so no
+    library-level ``except Exception`` handler can accidentally swallow the
+    simulated crash and keep "running" past it.
+    """
+
+
+class FaultInjector:
+    """Counts fsio effects and optionally crashes at a chosen one.
+
+    Usage::
+
+        ops = injector.count_ops(lambda: index.save(path))   # enumerate
+        for point in range(ops):                              # sweep
+            ...fresh state...
+            with pytest.raises(SimulatedCrash):
+                injector.crash_at(point, lambda: index.save(path))
+            ...assert the on-disk invariant...
+
+    ``trace`` holds the ``(operation, path)`` pairs observed by the most
+    recent :meth:`count_ops` run, for tests that target a specific effect
+    (e.g. "the manifest rename") rather than a sweep.
+    """
+
+    def __init__(self) -> None:
+        self.trace: "list[tuple[str, str]]" = []
+
+    def count_ops(self, action) -> int:
+        """Run ``action`` recording every durable effect; return the count."""
+        self.trace = []
+
+        def recorder(operation: str, path: str) -> None:
+            self.trace.append((operation, path))
+
+        previous = fsio.set_hook(recorder)
+        try:
+            action()
+        finally:
+            fsio.set_hook(previous)
+        return len(self.trace)
+
+    def crash_at(self, point: int, action):
+        """Run ``action`` but raise :class:`SimulatedCrash` before effect
+        number ``point`` (0-based); effects before it happen normally."""
+        remaining = point
+
+        def bomb(operation: str, path: str) -> None:
+            nonlocal remaining
+            if remaining == 0:
+                raise SimulatedCrash(f"crashed before {operation} of {path}")
+            remaining -= 1
+
+        previous = fsio.set_hook(bomb)
+        try:
+            return action()
+        finally:
+            fsio.set_hook(previous)

@@ -1,0 +1,234 @@
+"""Crash sweeps and corruption detection for the snapshot commit protocols.
+
+Every test here drives a *real* save through the fsio fault-injection seam
+(see ``conftest.py``) and asserts the storage contract from
+:mod:`repro.index.persistence`:
+
+* a crash at **any** durable-effect boundary of a fresh save leaves either no
+  snapshot or the complete one;
+* a crash at any boundary of an in-place re-save leaves the **old or the new
+  complete state** — never a torn mix — and a retry converges on the new one;
+* a flipped bit, a truncated payload or a missing file is *detected* as a
+  typed error naming the offending file, never a silently wrong answer.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.errors import CorruptionError, IndexError_
+from repro.index.dynamic import DynamicIndex
+from repro.index.messi import MessiIndex
+from repro.index.persistence import (
+    MANIFEST_NAME,
+    load_dynamic,
+    load_index,
+    load_tree,
+    read_manifest,
+)
+
+from fault_harness import SimulatedCrash
+
+
+def _build_index(rows: np.ndarray) -> MessiIndex:
+    return MessiIndex(word_length=8, alphabet_size=16, leaf_size=8).build(rows)
+
+
+def _signature(index, queries: np.ndarray):
+    """A comparable fingerprint of an index's serving state."""
+    results = index.knn_batch(queries, k=2)
+    return [(result.indices.tolist(),
+             result.distances.tolist()) for result in results]
+
+
+def _dynamic_signature(dynamic: DynamicIndex, queries: np.ndarray):
+    base = _signature(dynamic, queries)
+    return (dynamic.num_base, dynamic.delta_count, dynamic.num_surviving, base)
+
+
+class TestFreshSaveCrashSweep:
+    def test_every_crash_point_leaves_none_or_complete(self, injector,
+                                                       small_rows, tmp_path):
+        index = _build_index(small_rows[:32])
+        queries = small_rows[32:34]
+        expected = _signature(index, queries)
+
+        num_ops = injector.count_ops(
+            lambda: index.save(tmp_path / "enumerate"))
+        assert num_ops > 5  # the protocol really is multi-step
+
+        for point in range(num_ops):
+            target = tmp_path / f"crash-{point}"
+            with pytest.raises(SimulatedCrash):
+                injector.crash_at(point, lambda: index.save(target))
+            # Old-or-new with no previous snapshot: either nothing loadable
+            # (typed refusal, not a numpy/OS error) or the complete snapshot.
+            try:
+                loaded = load_index(target, verify="eager")
+            except IndexError_:
+                pass
+            else:
+                assert _signature(loaded, queries) == expected
+            # A retry after the crash must converge on the complete snapshot
+            # (stale staging directories may not wedge the target).
+            index.save(target)
+            assert _signature(load_index(target, verify="eager"),
+                              queries) == expected
+
+    def test_refuses_to_overwrite_non_snapshot_directory(self, small_rows,
+                                                         tmp_path):
+        index = _build_index(small_rows[:32])
+        target = tmp_path / "not-a-snapshot"
+        target.mkdir()
+        (target / "precious.txt").write_text("user data")
+        with pytest.raises(IndexError_, match="refus"):
+            index.save(target)
+        assert (target / "precious.txt").read_text() == "user data"
+
+
+class TestInPlaceResaveCrashSweep:
+    def test_old_or_new_never_torn(self, injector, small_rows, tmp_path):
+        base = small_rows[:24]
+        extra = small_rows[24:30]
+        queries = small_rows[30:32]
+
+        def make_states():
+            dynamic = _build_index(base).dynamic()
+            old_signature = _dynamic_signature(dynamic, queries)
+            return dynamic, old_signature
+
+        # Enumerate the effects of the second (in-place) save.
+        dynamic, _ = make_states()
+        probe = tmp_path / "enumerate"
+        dynamic.save(probe)
+        dynamic.insert_batch(extra)
+        dynamic.delete(0)
+        new_signature = _dynamic_signature(dynamic, queries)
+        num_ops = injector.count_ops(lambda: dynamic.save(probe))
+        assert num_ops > 5
+
+        for point in range(num_ops):
+            target = tmp_path / f"crash-{point}"
+            dynamic, old_signature = make_states()
+            dynamic.save(target)
+            dynamic.insert_batch(extra)
+            dynamic.delete(0)
+            with pytest.raises(SimulatedCrash):
+                injector.crash_at(point, lambda: dynamic.save(target))
+            loaded = load_dynamic(target, verify="eager")
+            observed = _dynamic_signature(loaded, queries)
+            assert observed in (old_signature, new_signature), (
+                f"crash point {point} left a state that is neither the old "
+                "nor the new snapshot"
+            )
+            # Retrying the save converges on the new state.
+            dynamic.save(target)
+            assert _dynamic_signature(load_dynamic(target, verify="eager"),
+                                      queries) == new_signature
+
+    def test_commit_point_is_the_manifest_rename(self, injector, small_rows,
+                                                 tmp_path):
+        """Before the manifest rename the old state loads; after it, the new."""
+        target = tmp_path / "snap"
+        dynamic = _build_index(small_rows[:24]).dynamic()
+        queries = small_rows[30:32]
+        dynamic.save(target)
+        old_signature = _dynamic_signature(dynamic, queries)
+        dynamic.insert_batch(small_rows[24:28])
+        new_signature = _dynamic_signature(dynamic, queries)
+
+        injector.count_ops(lambda: dynamic.save(target))
+        renames = [position for position, (operation, path)
+                   in enumerate(injector.trace)
+                   if operation == "rename" and path.endswith(MANIFEST_NAME)]
+        assert len(renames) == 1
+        commit = renames[0]
+
+        # Crash immediately before the rename: still the old state.
+        dynamic, queries_local = _build_index(small_rows[:24]).dynamic(), queries
+        target_before = tmp_path / "before"
+        dynamic.save(target_before)
+        dynamic.insert_batch(small_rows[24:28])
+        with pytest.raises(SimulatedCrash):
+            injector.crash_at(commit, lambda: dynamic.save(target_before))
+        assert _dynamic_signature(load_dynamic(target_before, verify="eager"),
+                                  queries_local) == old_signature
+        # Crash immediately after the rename: durably the new state.
+        dynamic = _build_index(small_rows[:24]).dynamic()
+        target_after = tmp_path / "after"
+        dynamic.save(target_after)
+        dynamic.insert_batch(small_rows[24:28])
+        with pytest.raises(SimulatedCrash):
+            injector.crash_at(commit + 1, lambda: dynamic.save(target_after))
+        assert _dynamic_signature(load_dynamic(target_after, verify="eager"),
+                                  queries_local) == new_signature
+
+
+class TestCorruptionDetection:
+    @pytest.fixture()
+    def snapshot(self, small_rows, tmp_path):
+        index = _build_index(small_rows[:32])
+        target = tmp_path / "snap"
+        index.save(target)
+        return target
+
+    def test_bit_flip_in_every_payload_is_detected(self, snapshot):
+        manifest = read_manifest(snapshot)
+        for name, filename in sorted(manifest["files"].items()):
+            payload_path = snapshot / filename
+            original = payload_path.read_bytes()
+            # Flip one bit in the middle of the array data.
+            position = len(original) // 2
+            corrupted = bytearray(original)
+            corrupted[position] ^= 0x40
+            payload_path.write_bytes(bytes(corrupted))
+            try:
+                with pytest.raises(CorruptionError, match=filename):
+                    load_tree(snapshot, verify="eager")
+            finally:
+                payload_path.write_bytes(original)
+        # Restored intact, the snapshot loads again.
+        load_tree(snapshot, verify="eager")
+
+    def test_manifest_corruption_is_detected(self, snapshot):
+        manifest_path = snapshot / MANIFEST_NAME
+        manifest = json.loads(manifest_path.read_text())
+        manifest["tree"]["leaf_size"] = 9999  # edited without re-stamping
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(CorruptionError, match="checksum"):
+            load_tree(snapshot)
+
+    def test_missing_payload_names_the_file(self, snapshot):
+        manifest = read_manifest(snapshot)
+        filename = manifest["files"]["values"]
+        (snapshot / filename).unlink()
+        with pytest.raises(IndexError_, match=filename):
+            load_tree(snapshot)
+
+    def test_truncated_payload_names_the_file(self, snapshot):
+        manifest = read_manifest(snapshot)
+        filename = manifest["files"]["values"]
+        payload_path = snapshot / filename
+        payload_path.write_bytes(payload_path.read_bytes()[:40])
+        with pytest.raises((CorruptionError, IndexError_), match=filename):
+            load_tree(snapshot, verify="eager")
+        # Even with verification off, a truncated .npy must fail typed.
+        with pytest.raises((CorruptionError, IndexError_), match=filename):
+            load_tree(snapshot, verify="off")
+
+    def test_lazy_skips_mmapped_payloads_but_eager_checks(self, snapshot):
+        """The verify knob trades load cost against coverage as documented."""
+        manifest = read_manifest(snapshot)
+        filename = manifest["files"]["values"]
+        payload_path = snapshot / filename
+        original = payload_path.read_bytes()
+        corrupted = bytearray(original)
+        corrupted[len(corrupted) // 2] ^= 0x01
+        payload_path.write_bytes(bytes(corrupted))
+        # values is mmapped: lazy does not read (and so not verify) its bytes.
+        load_tree(snapshot, verify="lazy")
+        with pytest.raises(CorruptionError, match=filename):
+            load_tree(snapshot, verify="eager")
