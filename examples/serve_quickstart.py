@@ -1,0 +1,106 @@
+"""Serving quickstart: snapshot -> HTTP server -> query -> ingest -> hot reload.
+
+The full serving lifecycle in one script, stdlib client included:
+
+1. build a SOFA index and save it as a dynamic snapshot,
+2. serve the snapshot writable over HTTP (``repro.serve``),
+3. answer ``/knn`` queries (coalesced into batched engine calls),
+4. ingest live inserts and a delete,
+5. ``/compact`` — the tree rebuilds, the serving generation swaps atomically,
+   and the snapshot is re-saved in place (queries in flight keep answering on
+   the old generation; a restart resumes from the compacted state),
+6. clean shutdown.
+
+Run with::
+
+    python examples/serve_quickstart.py
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import urllib.request
+from pathlib import Path
+
+from repro import SofaIndex, load_dataset, split_queries
+from repro.serve import IndexServer, SearchApp, ServeConfig
+
+
+def call(url: str, payload: "dict | None" = None) -> dict:
+    """POST ``payload`` (or GET when ``None``) and decode the JSON answer."""
+    if payload is None:
+        request = urllib.request.Request(url)
+    else:
+        request = urllib.request.Request(
+            url, data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read())
+
+
+def main() -> None:
+    # ---- 1. build and snapshot -------------------------------------------
+    dataset = load_dataset("LenDB", num_series=600)
+    index_set, queries = split_queries(dataset, num_queries=5)
+    index = SofaIndex(word_length=8, alphabet_size=64, leaf_size=32)
+    dynamic = index.build(index_set).dynamic()
+
+    snapshot = Path(tempfile.mkdtemp(prefix="repro-serve-")) / "lendb"
+    dynamic.save(snapshot)
+    print(f"snapshot written to {snapshot}")
+
+    # ---- 2. serve it writable --------------------------------------------
+    app = SearchApp(ServeConfig(max_k=25, default_timeout_s=10.0))
+    app.load_snapshot("lendb", snapshot, writable=True, mmap=True)
+    with IndexServer(app) as server:
+        print(f"serving on {server.url}")
+        print("indexes:", call(f"{server.url}/indexes"))
+
+        # ---- 3. query -----------------------------------------------------
+        query = queries.values[0].tolist()
+        answer = call(f"{server.url}/lendb/knn", {"query": query, "k": 3})
+        print(f"3-NN on generation {answer['generation']}: "
+              f"ids={answer['ids']} distances={[round(d, 4) for d in answer['distances']]}")
+
+        # ---- 4. live writes ----------------------------------------------
+        inserted = call(f"{server.url}/lendb/insert",
+                        {"series": queries.values[1].tolist()})
+        (new_row,) = inserted["ids"]
+        print(f"inserted live row {new_row} "
+              f"({inserted['num_surviving']} rows now served)")
+        hit = call(f"{server.url}/lendb/knn",
+                   {"query": queries.values[1].tolist(), "k": 1})
+        assert hit["ids"] == [new_row], "the buffered insert must be served"
+        print(f"the new row answers its own 1-NN query "
+              f"(distance {hit['distances'][0]:.2e})")
+        call(f"{server.url}/lendb/delete", {"row": 17})
+
+        # ---- 5. compact: generation swap + in-place snapshot re-save -----
+        compacted = call(f"{server.url}/lendb/compact", {})
+        print(f"compacted: generation {compacted['generation']}, "
+              f"{compacted['num_surviving']} surviving rows, "
+              f"snapshot re-saved={compacted['saved']}")
+        again = call(f"{server.url}/lendb/knn", {"query": query, "k": 3})
+        print(f"3-NN on generation {again['generation']}: ids={again['ids']}")
+
+        # ---- 6. serving stats --------------------------------------------
+        stats = call(f"{server.url}/stats")["indexes"]["lendb"]
+        search = stats["search"]
+        print(f"served {search['queries']} queries, "
+              f"pruning ratio {search['pruning_ratio']:.2f}, "
+              f"batches of mean size "
+              f"{stats['batching']['mean_batch_size']:.1f}")
+    print("server stopped")
+
+    # A later process resumes from the re-saved (compacted) snapshot.
+    restarted = SearchApp()
+    restarted.load_snapshot("lendb", snapshot, writable=True)
+    listing = restarted.list_indexes()["indexes"][0]
+    print(f"restart from snapshot: {listing['num_series']} rows, "
+          f"type {listing['type']}")
+    restarted.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -12,9 +12,13 @@ from repro.core.errors import (
     CorruptionError,
     DatasetError,
     InvalidParameterError,
+    IndexError_,
     NotFittedError,
+    ReadOnlyIndexError,
     ReproError,
     SearchError,
+    ShutdownError,
+    UnknownIndexError,
     ValidationError,
     WalError,
 )
@@ -37,10 +41,14 @@ __all__ = [
     "Dataset",
     "DatasetError",
     "GrowableArray",
+    "IndexError_",
     "InvalidParameterError",
     "NotFittedError",
+    "ReadOnlyIndexError",
     "ReproError",
     "SearchError",
+    "ShutdownError",
+    "UnknownIndexError",
     "ValidationError",
     "WalError",
     "batch_lower_bound",

@@ -47,6 +47,34 @@ class ValidationError(IndexError_, SearchError):
     """
 
 
+class UnknownIndexError(IndexError_):
+    """Raised when a request names an index the serving layer does not hold.
+
+    Kept in the core taxonomy (rather than inside :mod:`repro.serve`) so the
+    error → HTTP-status map stays total over one hierarchy; the HTTP layer
+    renders it as 404.
+    """
+
+
+class ReadOnlyIndexError(IndexError_):
+    """Raised when a write (insert/delete/compact) targets a read-only index.
+
+    Static snapshot-backed indexes are served build-once/read-many; mutating
+    them requires loading a dynamic snapshot (or wrapping the index in a
+    :class:`~repro.index.dynamic.DynamicIndex`).  The HTTP layer renders this
+    as 409.
+    """
+
+
+class ShutdownError(ReproError):
+    """Raised when a request reaches a component that is shutting down.
+
+    The serving layer's micro-batch queue rejects submissions after
+    ``close()`` with this type so late requests get a typed 503-style answer
+    instead of hanging or crashing a worker.
+    """
+
+
 class CorruptionError(IndexError_):
     """Raised when stored index data fails a checksum or is torn/truncated.
 

@@ -62,6 +62,7 @@ from repro.index.stats import (
     IndexStructureStats,
     compute_structure_stats,
     merge_search_stats,
+    summarize_search_stats,
 )
 from repro.index.tree import BuildTimings, TreeIndex
 from repro.index.wal import WalRecord, WriteAheadLog, read_records
@@ -98,4 +99,5 @@ __all__ = [
     "save_dynamic",
     "save_index",
     "save_tree",
+    "summarize_search_stats",
 ]

@@ -72,6 +72,7 @@ from repro.index.search import (
     deadline_expired,
     finalize_result,
     resolve_deadline,
+    validated_count,
 )
 from repro.index.tree import TreeIndex
 from repro.parallel.pool import WorkerPool, chunk_indices, resolve_num_workers
@@ -282,9 +283,12 @@ class BatchSearcher:
         best-so-far with ``stats.timed_out=True`` (reported distances stay
         exact; a timed-out set may miss a closer unrefined series).  Queries
         that finished before the deadline are unaffected.
+
+        An **empty batch** (shape ``(0, l)``) is answered with ``[]`` — a
+        contractual no-op, validated like any other batch so malformed empty
+        inputs still raise typed errors.
         """
-        if k < 1:
-            raise SearchError(f"k must be >= 1, got {k}")
+        k = validated_count(k)
         deadline = resolve_deadline(timeout_s)
         num_workers = resolve_num_workers(num_workers)
         # Capture the dynamic overlay once per batch so every shard (possibly
@@ -555,17 +559,19 @@ class BatchSearcher:
 
         pointers = np.zeros(num_queries, dtype=np.int64)
         active = np.ones(num_queries, dtype=bool)
+        first_round = True
         while True:
             active_queries = np.flatnonzero(active)
             if active_queries.size == 0:
                 return
-            if deadline_expired(deadline):
-                # Flat-path queries start from an empty frontier, so a
-                # timed-out query reports however many winners its finished
-                # rounds accumulated (possibly none for a zero budget).
+            if not first_round and deadline_expired(deadline):
+                # The first round always runs (the flat path's counterpart of
+                # the tree path's seed-leaf refinement), so even a zero budget
+                # finalizes a real best-so-far instead of an empty answer.
                 for query_index in active_queries:
                     stats[query_index].timed_out = True
                 return
+            first_round = False
             round_start = time.perf_counter()
             window = _round_window(self.flat_block_size, num_queries,
                                    active_queries.size, num_entries)

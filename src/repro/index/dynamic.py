@@ -482,9 +482,15 @@ class DynamicIndex:
                                         timeout_s=timeout_s)
 
     def nearest_neighbor(self, query: np.ndarray,
-                         num_workers: "int | None" = None) -> SearchResult:
-        """Exact 1-NN over the surviving rows."""
-        return self.knn(query, k=1, num_workers=num_workers)
+                         num_workers: "int | None" = None,
+                         timeout_s: "float | None" = None) -> SearchResult:
+        """Exact 1-NN over the surviving rows.
+
+        ``timeout_s`` bounds the search like :meth:`knn` does: on expiry the
+        best-so-far is finalized with ``stats.timed_out=True``.
+        """
+        return self.knn(query, k=1, num_workers=num_workers,
+                        timeout_s=timeout_s)
 
     def knn_batch(self, queries: np.ndarray, k: int = 1,
                   num_workers: "int | None" = None,

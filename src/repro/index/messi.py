@@ -128,10 +128,16 @@ class MessiIndex:
                                          timeout_s=timeout_s)
 
     def nearest_neighbor(self, query: np.ndarray,
-                         num_workers: "int | None" = None) -> SearchResult:
-        """Exact nearest neighbour of ``query``."""
+                         num_workers: "int | None" = None,
+                         timeout_s: "float | None" = None) -> SearchResult:
+        """Exact nearest neighbour of ``query``.
+
+        ``timeout_s`` bounds the search like :meth:`knn` does: on expiry the
+        best-so-far is finalized with ``stats.timed_out=True``.
+        """
         return self._require_built().nearest_neighbor(query,
-                                                      num_workers=num_workers)
+                                                      num_workers=num_workers,
+                                                      timeout_s=timeout_s)
 
     def approximate_knn(self, query: np.ndarray, k: int = 1,
                         max_refined_series: int = 256) -> SearchResult:

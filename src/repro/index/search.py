@@ -57,6 +57,8 @@ a scratch rebuild on the surviving rows.
 from __future__ import annotations
 
 import heapq
+import numbers
+import operator
 import threading
 import time
 from dataclasses import dataclass, field
@@ -158,14 +160,47 @@ def validated_query(query: np.ndarray, expected_length: int) -> np.ndarray:
     return query
 
 
+def validated_count(value, name: str = "k") -> int:
+    """Validate an integer count parameter (``k``, refinement budgets) at the
+    API boundary.
+
+    Raises a typed :class:`~repro.core.errors.ValidationError` on
+    non-integral values (``"3"``, ``2.5``) — never a bare ``TypeError`` from
+    a downstream comparison — and a :class:`~repro.core.errors.SearchError`
+    on counts below one, the established contract of the search entry points.
+    """
+    try:
+        value = operator.index(value)
+    except TypeError:
+        raise ValidationError(
+            f"{name} must be an integer, got {value!r} of type "
+            f"{type(value).__name__}"
+        ) from None
+    if value < 1:
+        raise SearchError(f"{name} must be >= 1, got {value}")
+    return value
+
+
 def resolve_deadline(timeout_s: "float | None") -> "float | None":
-    """Turn an optional per-call time budget into a monotonic deadline."""
+    """Turn an optional per-call time budget into a monotonic deadline.
+
+    Non-numeric budgets raise a typed
+    :class:`~repro.core.errors.ValidationError`, non-positive (or NaN) ones
+    the established :class:`~repro.core.errors.InvalidParameterError` — the
+    entry points never leak a bare ``TypeError`` from the comparison below.
+    """
     if timeout_s is None:
         return None
-    if not timeout_s > 0:
+    if isinstance(timeout_s, bool) or not isinstance(timeout_s, numbers.Real):
+        raise ValidationError(
+            f"timeout_s must be a number of seconds, got {timeout_s!r} of "
+            f"type {type(timeout_s).__name__}"
+        )
+    budget = float(timeout_s)
+    if not budget > 0:
         raise InvalidParameterError(
             f"timeout_s must be positive, got {timeout_s}")
-    return time.monotonic() + float(timeout_s)
+    return time.monotonic() + budget
 
 
 def deadline_expired(deadline: "float | None") -> bool:
@@ -406,8 +441,7 @@ class ExactSearcher:
         ``stats.timed_out=True`` (every reported distance is exact; the set
         may miss a closer unrefined series) instead of running to completion.
         """
-        if k < 1:
-            raise SearchError(f"k must be >= 1, got {k}")
+        k = validated_count(k)
         deadline = resolve_deadline(timeout_s)
         num_workers = resolve_num_workers(num_workers)
         delta = self._delta_source() if self._delta_source is not None else None
@@ -491,9 +525,15 @@ class ExactSearcher:
                                delta=delta)
 
     def nearest_neighbor(self, query: np.ndarray,
-                         num_workers: "int | None" = None) -> SearchResult:
-        """Exact 1-NN of ``query`` (convenience wrapper around :meth:`knn`)."""
-        return self.knn(query, k=1, num_workers=num_workers)
+                         num_workers: "int | None" = None,
+                         timeout_s: "float | None" = None) -> SearchResult:
+        """Exact 1-NN of ``query`` (convenience wrapper around :meth:`knn`).
+
+        ``timeout_s`` bounds the search exactly like :meth:`knn` does: on
+        expiry the best-so-far is finalized with ``stats.timed_out=True``.
+        """
+        return self.knn(query, k=1, num_workers=num_workers,
+                        timeout_s=timeout_s)
 
     def approximate_knn(self, query: np.ndarray, k: int = 1,
                         max_refined_series: int = 256) -> SearchResult:
@@ -509,8 +549,9 @@ class ExactSearcher:
         tight.  Increasing ``max_refined_series`` trades time for recall and
         converges to the exact answer at ``max_refined_series >= num_series``.
         """
-        if k < 1:
-            raise SearchError(f"k must be >= 1, got {k}")
+        k = validated_count(k)
+        max_refined_series = validated_count(max_refined_series,
+                                             "max_refined_series")
         if max_refined_series < k:
             raise SearchError("max_refined_series must be at least k")
         if self._delta_source is not None and self._delta_source() is not None:

@@ -43,6 +43,41 @@ def merge_search_stats(into: "SearchStats",
     return into
 
 
+def summarize_search_stats(parts: "Iterable[SearchStats]") -> dict:
+    """Aggregate per-query search stats into one serving-level report.
+
+    This is the ``/stats`` plumbing of the HTTP layer: per-query
+    :class:`~repro.index.search.SearchStats` are folded into JSON-ready
+    totals — queries answered, timed-out count, work counters, and the mean
+    pruning ratio over the aggregated work (exact distances over series
+    served, the same definition as the per-query property).  Unlike
+    :func:`merge_search_stats` this never mutates its inputs and reports
+    *across* queries rather than across one query's workers.
+    """
+    queries = timed_out = 0
+    series_served = lower_bounds = exact_distances = leaves_visited = 0
+    total_time = 0.0
+    for part in parts:
+        queries += 1
+        timed_out += int(part.timed_out)
+        series_served += part.num_series
+        lower_bounds += part.series_lower_bounds
+        exact_distances += part.exact_distances
+        leaves_visited += part.leaves_visited
+        total_time += part.total_time
+    return {
+        "queries": queries,
+        "timed_out": timed_out,
+        "series_served": series_served,
+        "series_lower_bounds": lower_bounds,
+        "exact_distances": exact_distances,
+        "leaves_visited": leaves_visited,
+        "engine_time_s": total_time,
+        "pruning_ratio": (1.0 - exact_distances / series_served
+                          if series_served else 0.0),
+    }
+
+
 @dataclass
 class IndexStructureStats:
     """Aggregate structure metrics reported in Figure 8."""

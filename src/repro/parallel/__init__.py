@@ -1,6 +1,9 @@
-"""Parallel substrate: a real thread pool and a virtual-core cost simulator."""
+"""Parallel substrate: a real thread pool, a micro-batching request queue and
+a virtual-core cost simulator."""
 
+from repro.parallel.batching import MicroBatchQueue
 from repro.parallel.pool import (
+    BackgroundTask,
     WorkerPool,
     chunk_indices,
     default_num_workers,
@@ -17,7 +20,9 @@ from repro.parallel.simulator import (
 )
 
 __all__ = [
+    "BackgroundTask",
     "DEFAULT_SYNC_OVERHEAD",
+    "MicroBatchQueue",
     "PhaseTiming",
     "SimulatedRun",
     "SimulatedSchedule",

@@ -1,0 +1,182 @@
+"""Micro-batching request queue: coalesce concurrent calls into shared work.
+
+The batched search engine (:class:`~repro.index.batch_search.BatchSearcher`)
+is 4-6x faster *per query* than looping ``knn`` — but only when queries
+actually arrive together.  A server handles each client on its own thread, so
+without coalescing every request would pay the full per-query engine cost and
+the batching win would evaporate at the serving boundary.
+
+:class:`MicroBatchQueue` converts that concurrency back into batches: calling
+threads :meth:`~MicroBatchQueue.submit` one item each and block; a single
+drainer thread collects whatever is pending (waiting up to ``max_wait_s`` for
+stragglers, never beyond ``max_batch`` items), hands the batch to the
+``process_batch`` callable, and wakes every submitter with its own result.
+Under load the queue naturally fills while the previous batch is being
+processed, so the window wait only matters at low concurrency — the classic
+micro-batching latency/throughput trade.
+
+``process_batch(items)`` must return one outcome per item, in order; an
+outcome that is an ``Exception`` instance is *delivered* to (and re-raised
+in) its submitter only, so one malformed request cannot fail its batch
+neighbours.  If ``process_batch`` itself raises, every submitter of that
+batch receives the failure.  :meth:`~MicroBatchQueue.close` drains what is
+already queued, then rejects later submissions with a typed
+:class:`~repro.core.errors.ShutdownError`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+from repro.core.errors import InvalidParameterError, ShutdownError
+
+
+class _Pending:
+    """One submitted item and the event its submitter blocks on."""
+
+    __slots__ = ("item", "event", "outcome")
+
+    def __init__(self, item: Any) -> None:
+        self.item = item
+        self.event = threading.Event()
+        self.outcome: Any = None
+
+
+class MicroBatchQueue:
+    """Coalesce concurrent blocking submissions into shared batch calls.
+
+    Parameters
+    ----------
+    process_batch:
+        Called on the drainer thread with a non-empty list of items; must
+        return a sequence of outcomes of the same length (an ``Exception``
+        outcome is re-raised in that item's submitter).
+    max_batch:
+        Largest batch handed to ``process_batch`` in one call.
+    max_wait_s:
+        How long the drainer waits for more items after the first one
+        arrives.  ``0`` disables the window: a batch is whatever is pending
+        at wake-up (still > 1 under load, since items queue while the
+        previous batch is processed).
+    name:
+        Thread name suffix, for debuggability.
+    """
+
+    def __init__(self, process_batch: Callable[[list], Sequence],
+                 max_batch: int = 64, max_wait_s: float = 0.002,
+                 name: str = "microbatch") -> None:
+        if max_batch < 1:
+            raise InvalidParameterError(
+                f"max_batch must be >= 1, got {max_batch}")
+        if max_wait_s < 0:
+            raise InvalidParameterError(
+                f"max_wait_s must be >= 0, got {max_wait_s}")
+        self._process_batch = process_batch
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_s)
+        self._pending: list[_Pending] = []
+        self._condition = threading.Condition()
+        self._closed = False
+        # Telemetry for /stats: how well concurrency coalesces into batches.
+        self._batches = 0
+        self._batched_items = 0
+        self._largest_batch = 0
+        self._drainer = threading.Thread(target=self._drain_forever,
+                                         name=f"repro-{name}", daemon=True)
+        self._drainer.start()
+
+    # -------------------------------------------------------------- client
+
+    def submit(self, item: Any, timeout: "float | None" = None) -> Any:
+        """Enqueue one item, block until its batch ran, return its outcome.
+
+        Raises the item's ``Exception`` outcome if the processor returned
+        one, the batch-wide failure if ``process_batch`` raised, a typed
+        :class:`~repro.core.errors.ShutdownError` after :meth:`close`, and
+        ``TimeoutError`` if no outcome arrived within ``timeout`` seconds.
+        """
+        pending = _Pending(item)
+        with self._condition:
+            if self._closed:
+                raise ShutdownError(
+                    "the micro-batch queue is closed; the server is "
+                    "shutting down")
+            self._pending.append(pending)
+            self._condition.notify_all()
+        if not pending.event.wait(timeout):
+            raise TimeoutError(
+                f"batched call produced no outcome within {timeout} seconds")
+        if isinstance(pending.outcome, BaseException):
+            raise pending.outcome
+        return pending.outcome
+
+    def close(self, timeout: "float | None" = 10.0) -> None:
+        """Stop accepting submissions, drain what is queued, join the drainer."""
+        with self._condition:
+            if self._closed:
+                return
+            self._closed = True
+            self._condition.notify_all()
+        self._drainer.join(timeout)
+
+    @property
+    def stats(self) -> dict:
+        """Coalescing counters: batches served, items, mean/largest batch."""
+        with self._condition:
+            batches, items = self._batches, self._batched_items
+            largest = self._largest_batch
+        return {
+            "batches": batches,
+            "batched_queries": items,
+            "mean_batch_size": (items / batches) if batches else 0.0,
+            "largest_batch": largest,
+        }
+
+    # ------------------------------------------------------------- drainer
+
+    def _collect(self) -> "list[_Pending] | None":
+        """Wait for work, hold the window open, take up to ``max_batch``.
+
+        Returns ``None`` when the queue is closed and fully drained — the
+        drainer's exit signal.
+        """
+        with self._condition:
+            while not self._pending and not self._closed:
+                self._condition.wait()
+            if not self._pending:
+                return None  # closed and drained
+            if self.max_wait_s > 0 and len(self._pending) < self.max_batch:
+                deadline = time.monotonic() + self.max_wait_s
+                while len(self._pending) < self.max_batch and not self._closed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._condition.wait(remaining)
+            batch = self._pending[: self.max_batch]
+            del self._pending[: self.max_batch]
+            self._batches += 1
+            self._batched_items += len(batch)
+            self._largest_batch = max(self._largest_batch, len(batch))
+        return batch
+
+    def _drain_forever(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                return
+            try:
+                outcomes = self._process_batch([p.item for p in batch])
+                if len(outcomes) != len(batch):
+                    raise InvalidParameterError(
+                        f"process_batch returned {len(outcomes)} outcomes "
+                        f"for {len(batch)} items")
+            except BaseException as error:  # noqa: BLE001 — delivered to submitters
+                for pending in batch:
+                    pending.outcome = error
+                    pending.event.set()
+                continue
+            for pending, outcome in zip(batch, outcomes):
+                pending.outcome = outcome
+                pending.event.set()

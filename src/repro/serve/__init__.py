@@ -1,0 +1,35 @@
+"""Serving layer: a threaded HTTP API over the similarity-search engines.
+
+The paper's engines answer queries in microseconds; this package makes them a
+*service* without giving up the batched-engine throughput or the typed-error
+discipline.  Stdlib-only by design (``http.server`` + ``json``): no web
+framework is required to reproduce the serving results.
+
+* :class:`~repro.serve.config.ServeConfig` — limits (``max_k``, timeout
+  ceiling, body size) and the micro-batching window.
+* :class:`~repro.serve.app.SearchApp` — HTTP-free application layer: named
+  read-only (mmap snapshot) and writable (:class:`~repro.index.dynamic.DynamicIndex`)
+  indexes, per-index request coalescing, ``/stats`` aggregation, compaction
+  with atomic generation swap and in-place snapshot re-save.
+* :class:`~repro.serve.routes.IndexServer` — the threaded HTTP front end.
+* :class:`~repro.serve.batching.KnnBatcher` — coalesces concurrent ``/knn``
+  requests into shared :meth:`knn_batch` calls.
+* :mod:`repro.serve.errors` — the total typed-error → HTTP-status map.
+"""
+
+from repro.serve.app import SearchApp, ServedIndex
+from repro.serve.batching import KnnBatcher
+from repro.serve.config import ServeConfig
+from repro.serve.errors import STATUS_MAP, error_payload, status_for
+from repro.serve.routes import IndexServer
+
+__all__ = [
+    "IndexServer",
+    "KnnBatcher",
+    "STATUS_MAP",
+    "SearchApp",
+    "ServeConfig",
+    "ServedIndex",
+    "error_payload",
+    "status_for",
+]

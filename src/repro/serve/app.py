@@ -1,0 +1,346 @@
+"""HTTP-free serving logic: named indexes, request limits, stats, hot reload.
+
+:class:`SearchApp` is the application layer of the server — everything the
+HTTP routes do except sockets and JSON framing, so the full serving contract
+(typed errors, batching, limits, generation swaps) is testable without a
+network.  It holds a registry of named :class:`ServedIndex` entries:
+
+* **read-only** entries wrap a static index (usually loaded from a snapshot
+  with ``mmap=True``, so the payload stays on disk); writes to them raise a
+  typed :class:`~repro.core.errors.ReadOnlyIndexError` (HTTP 409),
+* **writable** entries wrap a :class:`~repro.index.dynamic.DynamicIndex` and
+  accept ``insert``/``delete``/``compact``.
+
+``knn`` requests flow through one :class:`~repro.serve.batching.KnnBatcher`
+per index (when :attr:`ServeConfig.batching` is on), coalescing concurrent
+clients into shared batched-engine calls.  ``compact`` relies on the dynamic
+index's atomic generation swap — in-flight queries finish on the old
+generation — then bumps the served generation counter and, for
+snapshot-backed entries, re-saves the snapshot in place (the persistence
+layer writes generation-suffixed payload files and unlinks the stale ones
+only after the manifest commit, so concurrent mmap readers keep their data
+alive through the swap).
+"""
+
+from __future__ import annotations
+
+import operator
+import threading
+from typing import Any
+
+from repro.core.errors import (
+    ReadOnlyIndexError,
+    SearchError,
+    UnknownIndexError,
+    ValidationError,
+)
+from repro.index.dynamic import DynamicIndex
+from repro.index.search import (
+    SearchResult,
+    SearchStats,
+    validated_count,
+    validated_query,
+)
+from repro.index.stats import summarize_search_stats
+from repro.serve.batching import KnnBatcher, engine_tree
+from repro.serve.config import ServeConfig
+
+
+class _StatsAccumulator:
+    """Fold per-query :class:`SearchStats` into running ``/stats`` totals.
+
+    Accumulates the :func:`~repro.index.stats.summarize_search_stats` fields
+    incrementally so the app never retains per-query objects (a long-lived
+    server would otherwise grow without bound).
+    """
+
+    _COUNTERS = ("queries", "timed_out", "series_served",
+                 "series_lower_bounds", "exact_distances", "leaves_visited",
+                 "engine_time_s")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._totals = {key: 0 for key in self._COUNTERS}
+        self._totals["engine_time_s"] = 0.0
+
+    def add(self, stats: SearchStats) -> None:
+        part = summarize_search_stats([stats])
+        with self._lock:
+            for key in self._COUNTERS:
+                self._totals[key] += part[key]
+
+    def report(self) -> dict:
+        with self._lock:
+            totals = dict(self._totals)
+        served = totals["series_served"]
+        totals["pruning_ratio"] = (
+            1.0 - totals["exact_distances"] / served if served else 0.0)
+        return totals
+
+
+class ServedIndex:
+    """One named index the app serves: engine, role, generation, telemetry."""
+
+    def __init__(self, name: str, engine: Any, *, path=None,
+                 batcher: "KnnBatcher | None" = None) -> None:
+        self.name = name
+        self.engine = engine
+        self.path = path
+        self.batcher = batcher
+        self.read_only = not isinstance(engine, DynamicIndex)
+        #: Monotonic serving generation; bumped by every successful compact.
+        self.generation = 1
+        self.search_stats = _StatsAccumulator()
+
+    @property
+    def index_type(self) -> str:
+        if isinstance(self.engine, DynamicIndex):
+            return f"dynamic[{self.engine.index_type}]"
+        return type(self.engine).__name__.removesuffix("Index").lower()
+
+    @property
+    def num_series(self) -> int:
+        if isinstance(self.engine, DynamicIndex):
+            return self.engine.num_surviving
+        return engine_tree(self.engine).num_series
+
+    def describe(self) -> dict:
+        return {
+            "name": self.name,
+            "type": self.index_type,
+            "num_series": int(self.num_series),
+            "series_length": int(engine_tree(self.engine).dataset.series_length),
+            "read_only": self.read_only,
+            "generation": self.generation,
+            "batching": self.batcher is not None,
+        }
+
+
+class SearchApp:
+    """The server's application layer: routes minus HTTP.
+
+    All public methods take and return JSON-ready Python values and raise
+    only :class:`~repro.core.errors.ReproError` subclasses, so the HTTP layer
+    is a thin translation: call the method, serialize the dict, map a typed
+    failure through :func:`repro.serve.errors.status_for`.
+    """
+
+    def __init__(self, config: "ServeConfig | None" = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self._indexes: "dict[str, ServedIndex]" = {}
+        self._registry_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------ registry
+
+    def add_index(self, name: str, engine: Any, *, path=None) -> ServedIndex:
+        """Register a built engine under ``name`` (replacing any previous one).
+
+        ``engine`` is a built :class:`~repro.index.sofa.SofaIndex` /
+        :class:`~repro.index.messi.MessiIndex` /
+        :class:`~repro.index.tree.TreeIndex` (served read-only) or a
+        :class:`~repro.index.dynamic.DynamicIndex` (served writable).
+        ``path`` marks the entry snapshot-backed: compact re-saves there, so
+        a restart resumes from the compacted state.
+        """
+        if not name or "/" in name:
+            raise ValidationError(
+                f"index names must be non-empty and slash-free, got {name!r}")
+        entry = ServedIndex(name, engine, path=path)
+        if self.config.batching:
+            # The closure reads entry.engine per batch, so a future engine
+            # swap (hot reload) takes effect without rebuilding the queue.
+            entry.batcher = KnnBatcher(
+                lambda: entry.engine,
+                num_workers=self.config.num_workers,
+                max_batch=self.config.batch_max_size,
+                max_wait_s=self.config.batch_max_wait_s,
+                name=f"knn-{name}")
+        with self._registry_lock:
+            previous = self._indexes.get(name)
+            self._indexes[name] = entry
+        if previous is not None and previous.batcher is not None:
+            previous.batcher.close()
+        return entry
+
+    def load_snapshot(self, name: str, path, *, writable: bool = False,
+                      mmap: bool = True, verify: str = "lazy",
+                      **options) -> ServedIndex:
+        """Load a snapshot directory and serve it under ``name``.
+
+        ``writable=False`` (default) serves the snapshot read-only through
+        the static loader — with ``mmap=True`` the payload arrays stay on
+        disk.  ``writable=True`` loads it into a
+        :class:`~repro.index.dynamic.DynamicIndex` (static snapshots take
+        the upgrade path: compacted index, empty delta) and remembers
+        ``path`` so compact re-saves in place; ``options`` reach the dynamic
+        constructor.
+        """
+        from repro.index.persistence import load_dynamic, load_index
+
+        if writable:
+            engine = load_dynamic(path, mmap=mmap, verify=verify, **options)
+            return self.add_index(name, engine, path=path)
+        return self.add_index(name, load_index(path, mmap=mmap, verify=verify),
+                              path=path)
+
+    def _entry(self, name: str) -> ServedIndex:
+        with self._registry_lock:
+            entry = self._indexes.get(name)
+            available = sorted(self._indexes)
+        if entry is None:
+            raise UnknownIndexError(
+                f"no index named {name!r} is being served "
+                f"(available: {available or 'none'})")
+        return entry
+
+    def _writable(self, name: str) -> ServedIndex:
+        entry = self._entry(name)
+        if entry.read_only:
+            raise ReadOnlyIndexError(
+                f"index {name!r} is served read-only; load it with "
+                f"writable=True (a DynamicIndex) to accept writes")
+        return entry
+
+    # -------------------------------------------------------------- routes
+
+    def list_indexes(self) -> dict:
+        with self._registry_lock:
+            entries = list(self._indexes.values())
+        return {"indexes": [entry.describe() for entry in entries]}
+
+    def healthz(self) -> dict:
+        with self._registry_lock:
+            count = len(self._indexes)
+        return {"status": "ok", "indexes": count}
+
+    def stats(self) -> dict:
+        """Aggregated serving statistics, per index.
+
+        Search counters come from the engines' per-query
+        :class:`~repro.index.search.SearchStats` (folded through
+        :func:`~repro.index.stats.summarize_search_stats`); batching counters
+        from each index's micro-batch queue.
+        """
+        with self._registry_lock:
+            entries = list(self._indexes.values())
+        return {
+            "indexes": {
+                entry.name: {
+                    "generation": entry.generation,
+                    "search": entry.search_stats.report(),
+                    "batching": (entry.batcher.stats
+                                 if entry.batcher is not None else None),
+                }
+                for entry in entries
+            }
+        }
+
+    def knn(self, name: str, query, k: int = 1,
+            timeout_s: "float | None" = None) -> dict:
+        """Answer one exact k-NN request against index ``name``.
+
+        Validates and bounds the request (``k`` against
+        :attr:`ServeConfig.max_k`, ``timeout_s`` clamped to
+        :attr:`ServeConfig.max_timeout_s`), answers through the index's
+        micro-batcher when batching is on, records the query's stats, and
+        returns a JSON-ready payload.  A budget expiry is a *well-formed
+        answer* (``timed_out: true``, exact distances over what was refined),
+        never an error.
+        """
+        entry = self._entry(name)
+        k = validated_count(k)
+        if k > self.config.max_k:
+            raise SearchError(
+                f"k={k} exceeds this server's limit max_k={self.config.max_k}")
+        timeout_s = self.config.clamp_timeout(timeout_s)
+        query = validated_query(
+            query, engine_tree(entry.engine).dataset.series_length)
+        if entry.batcher is not None:
+            result = entry.batcher.submit(query, k, timeout_s)
+        else:
+            result = entry.engine.knn(query, k=k,
+                                      num_workers=self.config.num_workers,
+                                      timeout_s=timeout_s)
+        entry.search_stats.add(result.stats)
+        return self._result_payload(entry, k, result)
+
+    @staticmethod
+    def _result_payload(entry: ServedIndex, k: int,
+                        result: SearchResult) -> dict:
+        return {
+            "index": entry.name,
+            "generation": entry.generation,
+            "k": k,
+            "ids": [int(row) for row in result.indices],
+            "distances": [float(d) for d in result.distances],
+            "timed_out": bool(result.stats.timed_out),
+        }
+
+    def insert(self, name: str, series) -> dict:
+        """Buffer one series (1-D) or a batch (2-D) into a writable index."""
+        entry = self._writable(name)
+        ids = entry.engine.insert_batch(series)
+        return {
+            "index": name,
+            "generation": entry.generation,
+            "ids": [int(row) for row in ids],
+            "num_surviving": int(entry.engine.num_surviving),
+            "needs_compaction": bool(entry.engine.needs_compaction),
+        }
+
+    def delete(self, name: str, row) -> dict:
+        """Tombstone one global row id in a writable index."""
+        entry = self._writable(name)
+        try:
+            row = operator.index(row)
+        except TypeError:
+            raise ValidationError(
+                f"row must be an integer id, got {row!r} of type "
+                f"{type(row).__name__}") from None
+        entry.engine.delete(row)
+        return {
+            "index": name,
+            "generation": entry.generation,
+            "deleted": row,
+            "num_surviving": int(entry.engine.num_surviving),
+            "needs_compaction": bool(entry.engine.needs_compaction),
+        }
+
+    def compact(self, name: str) -> dict:
+        """Merge a writable index's delta, swap generations, re-save in place.
+
+        The engine's rebuild ends in an atomic state swap — queries in flight
+        keep answering on the old generation and never observe a torn index.
+        For snapshot-backed entries the compacted state is then re-saved to
+        the same directory: the snapshot writer commits via atomic manifest
+        rename and only afterwards unlinks the previous generation's payload
+        files, which stays safe under concurrent mmap readers (their mapped
+        inodes outlive the unlink).
+        """
+        entry = self._writable(name)
+        mapping = entry.engine.compact(num_workers=self.config.num_workers)
+        entry.generation += 1
+        if entry.path is not None:
+            entry.engine.save(entry.path)
+        return {
+            "index": name,
+            "generation": entry.generation,
+            "num_surviving": int(entry.engine.num_surviving),
+            "remapped_rows": int(mapping.shape[0]),
+            "dropped_rows": int((mapping < 0).sum()),
+            "saved": entry.path is not None,
+        }
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Drain and close every index's batching queue (idempotent)."""
+        with self._registry_lock:
+            if self._closed:
+                return
+            self._closed = True
+            entries = list(self._indexes.values())
+        for entry in entries:
+            if entry.batcher is not None:
+                entry.batcher.close()

@@ -1,0 +1,108 @@
+"""Request coalescing for ``/knn``: many client threads, one batched engine.
+
+The HTTP layer answers every client on its own thread; without coalescing each
+request would pay the full per-query ``knn`` cost and the 4-6x batched-engine
+advantage would stop at the serving boundary.  :class:`KnnBatcher` puts a
+:class:`~repro.parallel.batching.MicroBatchQueue` in front of the engine:
+handler threads submit ``(query, k, timeout_s)`` and block, the drainer groups
+whatever coalesced by identical ``(k, timeout_s)`` and answers each group with
+one :meth:`knn_batch` call.
+
+Error isolation is per item where it can be: queries are pre-validated one by
+one (a malformed neighbour never poisons the batch), and a typed engine
+failure of one ``(k, timeout_s)`` group is delivered to that group's
+submitters only.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.errors import ReproError
+from repro.index.search import resolve_deadline, validated_count, validated_query
+from repro.parallel.batching import MicroBatchQueue
+
+
+def engine_tree(engine):
+    """The served tree of any engine: wrapper, dynamic wrapper, or bare tree."""
+    return getattr(engine, "tree", engine)
+
+
+class KnnBatcher:
+    """Coalesce concurrent k-NN requests into shared ``knn_batch`` calls.
+
+    Parameters
+    ----------
+    get_engine:
+        Zero-argument callable returning the engine to answer with.  Looked
+        up once per drained batch — not once at construction — so a hot
+        snapshot reload (the app swapping an index's engine) takes effect on
+        the next batch without tearing the queue down.
+    num_workers:
+        Worker threads handed to every ``knn_batch`` call (``None`` = the
+        ``REPRO_NUM_WORKERS`` process default).
+    max_batch / max_wait_s / name:
+        Forwarded to :class:`~repro.parallel.batching.MicroBatchQueue`.
+    """
+
+    def __init__(self, get_engine: Callable[[], Any], *,
+                 num_workers: "int | None" = None, max_batch: int = 64,
+                 max_wait_s: float = 0.002, name: str = "knn") -> None:
+        self._get_engine = get_engine
+        self._num_workers = num_workers
+        self._queue = MicroBatchQueue(self._process, max_batch=max_batch,
+                                      max_wait_s=max_wait_s, name=name)
+
+    def submit(self, query: np.ndarray, k: int, timeout_s: "float | None",
+               wait_timeout: "float | None" = None):
+        """Answer one query through the shared queue; blocks until its batch ran.
+
+        Returns the query's :class:`~repro.index.search.SearchResult`;
+        re-raises its typed engine error, and
+        :class:`~repro.core.errors.ShutdownError` after :meth:`close`.
+        ``k`` and ``timeout_s`` are validated *here*, on the caller's thread:
+        they become the grouping key, and a typed rejection must name the one
+        bad request rather than surface from inside someone else's batch.
+        """
+        k = validated_count(k)
+        resolve_deadline(timeout_s)  # typed validation only; deadline discarded
+        return self._queue.submit((query, k, timeout_s), timeout=wait_timeout)
+
+    def close(self, timeout: "float | None" = 10.0) -> None:
+        self._queue.close(timeout)
+
+    @property
+    def stats(self) -> dict:
+        """Coalescing counters (see :attr:`MicroBatchQueue.stats`)."""
+        return self._queue.stats
+
+    # ------------------------------------------------------------- drainer
+
+    def _process(self, items: list) -> list:
+        """Answer one drained batch: validate per item, group, search per group."""
+        engine = self._get_engine()  # one generation serves the whole batch
+        expected_length = engine_tree(engine).dataset.series_length
+        outcomes: list = [None] * len(items)
+        groups: "dict[tuple, list[tuple[int, np.ndarray]]]" = {}
+        for position, (query, k, timeout_s) in enumerate(items):
+            try:
+                query = validated_query(query, expected_length)
+            except ReproError as error:
+                outcomes[position] = error
+                continue
+            groups.setdefault((k, timeout_s), []).append((position, query))
+        for (k, timeout_s), members in groups.items():
+            queries = np.stack([query for _, query in members])
+            try:
+                results = engine.knn_batch(queries, k=k,
+                                           num_workers=self._num_workers,
+                                           timeout_s=timeout_s)
+            except ReproError as error:
+                for position, _ in members:
+                    outcomes[position] = error
+            else:
+                for (position, _), result in zip(members, results):
+                    outcomes[position] = result
+        return outcomes

@@ -1,0 +1,97 @@
+"""Serving-layer configuration: limits, batching window, bind address."""
+
+from __future__ import annotations
+
+import numbers
+from dataclasses import dataclass, field
+
+from repro.core.errors import InvalidParameterError
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Configuration of one :class:`~repro.serve.app.SearchApp`.
+
+    Parameters
+    ----------
+    host / port:
+        Bind address of the HTTP layer (``port=0`` picks an ephemeral port —
+        the default, so tests and examples never collide).
+    max_k:
+        Largest ``k`` a ``/knn`` request may ask for; beyond it the request
+        is rejected with a typed 400 instead of letting one client monopolize
+        the engine.
+    max_timeout_s:
+        Ceiling on the per-request ``timeout_s`` budget.  Requests asking for
+        more are *clamped* (a longer budget only ever helps the caller, so
+        clamping is safe); requests asking for none get ``default_timeout_s``.
+    default_timeout_s:
+        Budget applied when a ``/knn`` request carries no ``timeout_s``
+        (``None`` = unbounded, the library default).
+    batching:
+        Coalesce concurrent ``/knn`` requests into shared
+        :meth:`~repro.index.batch_search.BatchSearcher.knn_batch` calls
+        through a :class:`~repro.parallel.batching.MicroBatchQueue`.
+        Disabling it serves every request with a private per-query ``knn``
+        call — the naive baseline the serving benchmark compares against.
+    batch_max_size / batch_max_wait_s:
+        Micro-batch window: largest coalesced batch, and how long the drainer
+        holds the window open for stragglers after the first request arrives.
+    num_workers:
+        Worker threads handed to the engines (``None`` = the
+        ``REPRO_NUM_WORKERS`` process default).
+    request_body_limit:
+        Largest accepted HTTP request body, in bytes (oversized requests get
+        a typed 400 rather than an allocation).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_k: int = 100
+    max_timeout_s: float = 30.0
+    default_timeout_s: "float | None" = None
+    batching: bool = True
+    batch_max_size: int = 64
+    batch_max_wait_s: float = 0.002
+    num_workers: "int | None" = None
+    request_body_limit: int = field(default=16 * 1024 * 1024)
+
+    def __post_init__(self) -> None:
+        if self.max_k < 1:
+            raise InvalidParameterError(f"max_k must be >= 1, got {self.max_k}")
+        if not self.max_timeout_s > 0:
+            raise InvalidParameterError(
+                f"max_timeout_s must be positive, got {self.max_timeout_s}")
+        if (self.default_timeout_s is not None
+                and not self.default_timeout_s > 0):
+            raise InvalidParameterError(
+                f"default_timeout_s must be positive or None, "
+                f"got {self.default_timeout_s}")
+        if self.batch_max_size < 1:
+            raise InvalidParameterError(
+                f"batch_max_size must be >= 1, got {self.batch_max_size}")
+        if self.batch_max_wait_s < 0:
+            raise InvalidParameterError(
+                f"batch_max_wait_s must be >= 0, got {self.batch_max_wait_s}")
+        if self.request_body_limit < 1024:
+            raise InvalidParameterError(
+                f"request_body_limit must be >= 1024 bytes, "
+                f"got {self.request_body_limit}")
+
+    def clamp_timeout(self, timeout_s: "float | None") -> "float | None":
+        """Resolve a request's budget: default when absent, ceiling applied.
+
+        Malformed values (wrong type, non-positive) are passed through
+        untouched so the engine's own validation raises the typed error the
+        status map expects — the clamp never masks a 400 as a crash.
+        """
+        if timeout_s is None:
+            timeout_s = self.default_timeout_s
+        if timeout_s is None:
+            return None
+        if isinstance(timeout_s, bool) or not isinstance(timeout_s,
+                                                         numbers.Real):
+            return timeout_s
+        if not timeout_s > 0:
+            return timeout_s
+        return min(float(timeout_s), self.max_timeout_s)

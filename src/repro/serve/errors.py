@@ -1,0 +1,74 @@
+"""Typed-error → HTTP-status map for the serving layer.
+
+The engines raise only :class:`~repro.core.errors.ReproError` subclasses at
+their API boundaries (the contract pinned by ``tests/index/test_api_contract``),
+so the HTTP layer never needs a blanket ``except Exception`` around request
+handling: every failure a handler can see has a deliberate status code here.
+The map is ordered most-specific-first and resolved with ``isinstance`` so new
+subclasses inherit their family's status until given their own row; a test
+walks the whole hierarchy to keep the map total.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import (
+    CorruptionError,
+    DatasetError,
+    IndexError_,
+    InvalidParameterError,
+    NotFittedError,
+    ReadOnlyIndexError,
+    ReproError,
+    SearchError,
+    ShutdownError,
+    UnknownIndexError,
+    ValidationError,
+    WalError,
+)
+
+#: Ordered (error type, HTTP status) pairs, most specific first.  ``isinstance``
+#: resolution means order matters wherever hierarchies nest: ``ValidationError``
+#: (a client mistake, 400) must precede its bases ``SearchError`` and
+#: ``IndexError_``; ``CorruptionError``/``WalError`` (server-side damage, 500)
+#: must precede ``IndexError_`` (409).
+STATUS_MAP: "tuple[tuple[type[ReproError], int], ...]" = (
+    (ValidationError, 400),       # malformed query/body values
+    (InvalidParameterError, 400), # bad request parameters (k, timeout_s, ...)
+    (DatasetError, 400),          # malformed series payloads
+    (UnknownIndexError, 404),     # no such index
+    (ReadOnlyIndexError, 409),    # write against a static snapshot
+    (NotFittedError, 409),        # component not ready to serve
+    (CorruptionError, 500),       # stored data failed verification
+    (WalError, 500),              # unreadable write-ahead log
+    (SearchError, 400),           # query cannot be answered as asked
+    (IndexError_, 409),           # other index-state conflicts
+    (ShutdownError, 503),         # server is draining
+    (ReproError, 500),            # any future library error: fail safe
+)
+
+
+def status_for(error: BaseException) -> int:
+    """HTTP status for ``error``: first ``isinstance`` match in the map.
+
+    Non-library exceptions map to 500 — they indicate a server bug, not a
+    client mistake, and the handler logs them as such.
+    """
+    for error_type, status in STATUS_MAP:
+        if isinstance(error, error_type):
+            return status
+    return 500
+
+
+def error_payload(error: BaseException) -> dict:
+    """JSON body describing ``error`` for the client.
+
+    The concrete class name travels in the payload so clients can branch on
+    the taxonomy (e.g. retry on ``ShutdownError``) without parsing messages.
+    """
+    return {
+        "error": {
+            "type": type(error).__name__,
+            "message": str(error),
+            "status": status_for(error),
+        }
+    }

@@ -1,0 +1,209 @@
+"""The HTTP layer: stdlib threaded server translating routes to app calls.
+
+Built on :class:`http.server.ThreadingHTTPServer` — one thread per connection,
+which is exactly the concurrency shape the micro-batching queue converts back
+into batched engine calls.  The handler is deliberately thin: parse the route
+and JSON body, call the matching :class:`~repro.serve.app.SearchApp` method,
+serialize the dict it returns; any typed failure renders through the
+:mod:`repro.serve.errors` status map.  No framework, no new dependencies.
+
+Routes
+------
+========  =========================  =============================================
+Method    Path                       App call
+========  =========================  =============================================
+GET       ``/healthz``               :meth:`~repro.serve.app.SearchApp.healthz`
+GET       ``/stats``                 :meth:`~repro.serve.app.SearchApp.stats`
+GET       ``/indexes``               :meth:`~repro.serve.app.SearchApp.list_indexes`
+POST      ``/{index}/knn``           :meth:`~repro.serve.app.SearchApp.knn`
+POST      ``/{index}/insert``        :meth:`~repro.serve.app.SearchApp.insert`
+POST      ``/{index}/delete``        :meth:`~repro.serve.app.SearchApp.delete`
+POST      ``/{index}/compact``       :meth:`~repro.serve.app.SearchApp.compact`
+==========================================================================
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import unquote, urlsplit
+
+from repro.core.errors import ReproError, ValidationError
+from repro.serve.app import SearchApp
+from repro.serve.errors import error_payload, status_for
+
+_POST_ACTIONS = ("knn", "insert", "delete", "compact")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request: route → app method → JSON; errors through the status map."""
+
+    server_version = "repro-serve"
+    # HTTP/1.1 keeps client connections alive between requests, which the
+    # benchmark's load generators rely on; it requires Content-Length on
+    # every response, which _respond always sets.
+    protocol_version = "HTTP/1.1"
+    # Fully buffer writes and turn off Nagle: status line, headers and body
+    # must leave in one TCP segment, or the Nagle/delayed-ACK interaction
+    # adds ~40ms to every response on a keep-alive connection — two orders
+    # of magnitude over the engine's per-query time.
+    wbufsize = -1
+    disable_nagle_algorithm = True
+
+    @property
+    def app(self) -> SearchApp:
+        return self.server.app  # attached by IndexServer
+
+    # ------------------------------------------------------------- plumbing
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        pass  # per-request stderr logging would swamp the query storm tests
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_error(self, error: BaseException) -> None:
+        if isinstance(error, ReproError):
+            self._respond(status_for(error), error_payload(error))
+            return
+        # Anything untyped is a server bug; report it as such but keep the
+        # response shape uniform so clients never need a second parser.
+        self._respond(500, {"error": {
+            "type": type(error).__name__,
+            "message": str(error),
+            "status": 500,
+        }})
+
+    def _not_found(self, message: str) -> None:
+        self._respond(404, {"error": {
+            "type": "NotFound", "message": message, "status": 404}})
+
+    def _read_body(self) -> dict:
+        """Parse the JSON request body; typed errors for the status map."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            raise ValidationError("Content-Length header is not an integer")
+        limit = self.app.config.request_body_limit
+        if length > limit:
+            raise ValidationError(
+                f"request body of {length} bytes exceeds the server's "
+                f"limit of {limit} bytes")
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            body = json.loads(raw)
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ValidationError(
+                f"request body is not valid JSON: {error}") from None
+        if not isinstance(body, dict):
+            raise ValidationError(
+                f"request body must be a JSON object, got "
+                f"{type(body).__name__}")
+        return body
+
+    # --------------------------------------------------------------- routes
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = urlsplit(self.path).path
+        try:
+            if path == "/healthz":
+                self._respond(200, self.app.healthz())
+            elif path == "/stats":
+                self._respond(200, self.app.stats())
+            elif path in ("/indexes", "/"):
+                self._respond(200, self.app.list_indexes())
+            else:
+                self._not_found(f"no GET route {path!r}; "
+                                f"try /healthz, /stats or /indexes")
+        except Exception as error:  # noqa: BLE001 - rendered via status map
+            self._respond_error(error)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        parts = [part for part in urlsplit(self.path).path.split("/") if part]
+        if len(parts) != 2 or parts[1] not in _POST_ACTIONS:
+            self._not_found(
+                f"no POST route {self.path!r}; expected /<index>/<action> "
+                f"with action in {list(_POST_ACTIONS)}")
+            return
+        name, action = unquote(parts[0]), parts[1]
+        try:
+            body = self._read_body()
+            if action == "knn":
+                payload = self.app.knn(name, body.get("query"),
+                                       k=body.get("k", 1),
+                                       timeout_s=body.get("timeout_s"))
+            elif action == "insert":
+                payload = self.app.insert(name, body.get("series"))
+            elif action == "delete":
+                payload = self.app.delete(name, body.get("row"))
+            else:
+                payload = self.app.compact(name)
+            self._respond(200, payload)
+        except Exception as error:  # noqa: BLE001 - rendered via status map
+            self._respond_error(error)
+
+
+class IndexServer:
+    """A threaded HTTP server over one :class:`~repro.serve.app.SearchApp`.
+
+    ``config.port = 0`` (the default) binds an ephemeral port; read
+    :attr:`port` / :attr:`url` after construction.  Works as a context
+    manager::
+
+        app = SearchApp()
+        app.add_index("lendb", index)
+        with IndexServer(app) as server:
+            print(server.url)  # http://127.0.0.1:<port>
+            ...
+    """
+
+    def __init__(self, app: SearchApp) -> None:
+        self.app = app
+        self._httpd = ThreadingHTTPServer(
+            (app.config.host, app.config.port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.app = app
+        self._thread: "threading.Thread | None" = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "IndexServer":
+        """Serve on a daemon thread; returns immediately."""
+        if self._thread is None:
+            self._thread = threading.Thread(target=self._httpd.serve_forever,
+                                            name="repro-serve", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, join the acceptor, drain queues."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        self._httpd.server_close()
+        self.app.close()
+
+    def __enter__(self) -> "IndexServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

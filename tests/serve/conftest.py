@@ -1,0 +1,95 @@
+"""Shared fixtures of the serving-layer suite: small indexes, app, live server."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import random_walk
+from repro.index.sofa import SofaIndex
+from repro.serve import IndexServer, SearchApp, ServeConfig
+
+
+@pytest.fixture(scope="module")
+def serve_rows() -> np.ndarray:
+    """Raw series the served indexes are built from."""
+    return random_walk(300, 64, seed=1101)
+
+
+@pytest.fixture(scope="module")
+def serve_queries() -> np.ndarray:
+    """Query series (drawn from a different seed, so none is an exact hit)."""
+    return random_walk(10, 64, seed=1102)
+
+
+def _build_index(rows: np.ndarray) -> SofaIndex:
+    """A small deterministic SOFA index over ``rows``."""
+    return SofaIndex(word_length=8, alphabet_size=16, leaf_size=16).build(rows)
+
+
+@pytest.fixture(scope="session")
+def make_index():
+    """The index builder as a fixture (importable-free across test modules)."""
+    return _build_index
+
+
+@pytest.fixture(scope="module")
+def static_index(serve_rows) -> SofaIndex:
+    return _build_index(serve_rows)
+
+
+@pytest.fixture()
+def app(static_index, serve_rows) -> SearchApp:
+    """A fresh app serving one read-only and one writable index."""
+    search_app = SearchApp(ServeConfig(max_k=10))
+    search_app.add_index("static", static_index)
+    search_app.add_index("live", _build_index(serve_rows).dynamic())
+    yield search_app
+    search_app.close()
+
+
+class HttpClient:
+    """Minimal JSON-over-HTTP client for the test server (stdlib only)."""
+
+    def __init__(self, url: str) -> None:
+        self.url = url
+
+    def get(self, path: str) -> "tuple[int, dict]":
+        return self._request(urllib.request.Request(self.url + path))
+
+    def post(self, path: str, payload: "dict | None" = None,
+             raw: "bytes | None" = None) -> "tuple[int, dict]":
+        body = raw if raw is not None else json.dumps(payload or {}).encode()
+        return self._request(urllib.request.Request(
+            self.url + path, data=body,
+            headers={"Content-Type": "application/json"}, method="POST"))
+
+    @staticmethod
+    def _request(request) -> "tuple[int, dict]":
+        try:
+            with urllib.request.urlopen(request, timeout=30) as response:
+                return response.status, json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+
+@pytest.fixture()
+def server(app) -> IndexServer:
+    """The app behind a real threaded HTTP server on an ephemeral port."""
+    with IndexServer(app) as running:
+        yield running
+
+
+@pytest.fixture()
+def client(server) -> HttpClient:
+    return HttpClient(server.url)
+
+
+@pytest.fixture(scope="session")
+def make_client():
+    """The client constructor, for tests running their own server."""
+    return HttpClient

@@ -1,0 +1,226 @@
+"""The HTTP-free application layer: registry, limits, writes, stats, reload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    InvalidParameterError,
+    ReadOnlyIndexError,
+    SearchError,
+    UnknownIndexError,
+    ValidationError,
+)
+from repro.serve import SearchApp, ServeConfig
+
+
+class TestConfig:
+    def test_rejects_bad_limits(self):
+        with pytest.raises(InvalidParameterError):
+            ServeConfig(max_k=0)
+        with pytest.raises(InvalidParameterError):
+            ServeConfig(max_timeout_s=0)
+        with pytest.raises(InvalidParameterError):
+            ServeConfig(default_timeout_s=-1.0)
+        with pytest.raises(InvalidParameterError):
+            ServeConfig(batch_max_size=0)
+        with pytest.raises(InvalidParameterError):
+            ServeConfig(batch_max_wait_s=-0.1)
+        with pytest.raises(InvalidParameterError):
+            ServeConfig(request_body_limit=10)
+
+    def test_clamp_timeout(self):
+        config = ServeConfig(max_timeout_s=5.0, default_timeout_s=2.0)
+        assert config.clamp_timeout(None) == 2.0
+        assert config.clamp_timeout(1.5) == 1.5
+        assert config.clamp_timeout(100.0) == 5.0
+        # No default: absent stays unbounded.
+        assert ServeConfig().clamp_timeout(None) is None
+
+    def test_clamp_passes_malformed_values_to_the_engine(self):
+        """Bad budgets must reach the engine's typed validation untouched
+        (min() over a string would raise an untyped TypeError here)."""
+        config = ServeConfig(max_timeout_s=5.0)
+        assert config.clamp_timeout("1") == "1"
+        assert config.clamp_timeout(-3.0) == -3.0
+        assert config.clamp_timeout(True) is True
+
+
+class TestRegistry:
+    def test_list_and_describe(self, app):
+        listing = app.list_indexes()["indexes"]
+        by_name = {entry["name"]: entry for entry in listing}
+        assert by_name["static"]["read_only"] is True
+        assert by_name["static"]["type"] == "sofa"
+        assert by_name["live"]["read_only"] is False
+        assert by_name["live"]["type"] == "dynamic[sofa]"
+        assert by_name["live"]["generation"] == 1
+        assert by_name["live"]["num_series"] == 300
+        assert by_name["live"]["series_length"] == 64
+
+    def test_unknown_index_is_typed(self, app):
+        with pytest.raises(UnknownIndexError, match="no index named 'nope'"):
+            app.knn("nope", np.zeros(64))
+
+    def test_bad_index_name_rejected(self, app, static_index):
+        with pytest.raises(ValidationError):
+            app.add_index("", static_index)
+        with pytest.raises(ValidationError):
+            app.add_index("a/b", static_index)
+
+    def test_healthz(self, app):
+        assert app.healthz() == {"status": "ok", "indexes": 2}
+
+
+class TestKnn:
+    def test_answers_match_direct_engine(self, app, static_index,
+                                         serve_queries):
+        expected = static_index.knn(serve_queries[0], k=3)
+        payload = app.knn("static", serve_queries[0], k=3)
+        assert payload["ids"] == [int(row) for row in expected.indices]
+        assert payload["distances"] == [float(d) for d in expected.distances]
+        assert payload["timed_out"] is False
+        assert payload["generation"] == 1
+
+    def test_k_limit_enforced(self, app, serve_queries):
+        with pytest.raises(SearchError, match="max_k=10"):
+            app.knn("static", serve_queries[0], k=11)
+
+    def test_k_and_timeout_validation_is_typed(self, app, serve_queries):
+        with pytest.raises(ValidationError, match="k must be an integer"):
+            app.knn("static", serve_queries[0], k="3")
+        with pytest.raises(ValidationError, match="timeout_s must be a number"):
+            app.knn("static", serve_queries[0], timeout_s="1")
+        with pytest.raises(InvalidParameterError,
+                           match="timeout_s must be positive"):
+            app.knn("static", serve_queries[0], timeout_s=-1.0)
+
+    def test_tiny_timeout_is_a_well_formed_answer(self, app, serve_queries):
+        """An expired budget is a degraded answer, not an error: the payload
+        carries timed_out=True and exact distances for what was refined."""
+        payload = app.knn("static", serve_queries[0], k=2, timeout_s=1e-9)
+        assert payload["timed_out"] is True
+        assert len(payload["ids"]) == 2
+        assert payload["distances"] == sorted(payload["distances"])
+
+    def test_without_batching_same_answers(self, static_index, serve_queries):
+        app = SearchApp(ServeConfig(batching=False))
+        app.add_index("static", static_index)
+        try:
+            expected = static_index.knn(serve_queries[1], k=4)
+            payload = app.knn("static", serve_queries[1], k=4)
+            assert payload["ids"] == [int(row) for row in expected.indices]
+            listing = app.list_indexes()["indexes"][0]
+            assert listing["batching"] is False
+        finally:
+            app.close()
+
+    def test_stats_accumulate(self, app, serve_queries):
+        app.knn("static", serve_queries[0], k=1)
+        app.knn("static", serve_queries[1], k=1, timeout_s=1e-9)
+        report = app.stats()["indexes"]["static"]
+        assert report["search"]["queries"] == 2
+        assert report["search"]["timed_out"] == 1
+        assert report["search"]["series_served"] == 600
+        assert 0.0 <= report["search"]["pruning_ratio"] <= 1.0
+        assert report["batching"]["batched_queries"] == 2
+
+
+class TestWrites:
+    def test_static_index_rejects_writes(self, app, serve_queries):
+        with pytest.raises(ReadOnlyIndexError):
+            app.insert("static", serve_queries[0])
+        with pytest.raises(ReadOnlyIndexError):
+            app.delete("static", 0)
+        with pytest.raises(ReadOnlyIndexError):
+            app.compact("static")
+
+    def test_insert_delete_roundtrip(self, app, serve_rows):
+        inserted = app.insert("live", serve_rows[0])
+        (row,) = inserted["ids"]
+        assert row == 300
+        assert inserted["num_surviving"] == 301
+        deleted = app.delete("live", row)
+        assert deleted["num_surviving"] == 300
+
+    def test_insert_batch(self, app, serve_rows):
+        payload = app.insert("live", serve_rows[:5])
+        assert payload["ids"] == [300, 301, 302, 303, 304]
+
+    def test_delete_row_validation_is_typed(self, app):
+        with pytest.raises(ValidationError, match="row must be an integer"):
+            app.delete("live", "7")
+
+    def test_inserted_rows_are_immediately_searchable(self, app, serve_queries):
+        probe = serve_queries[3]
+        (row,) = app.insert("live", probe)["ids"]
+        payload = app.knn("live", probe, k=1)
+        assert payload["ids"] == [row]
+        assert payload["distances"][0] == pytest.approx(0.0, abs=1e-9)
+
+
+class TestCompact:
+    def test_compact_bumps_generation_and_keeps_answers(self, app,
+                                                        serve_queries):
+        before = app.knn("live", serve_queries[0], k=3)
+        inserted = app.insert("live", np.tile(serve_queries[9], (3, 1)))
+        for row in inserted["ids"]:
+            app.delete("live", row)
+        payload = app.compact("live")
+        assert payload["generation"] == 2
+        assert payload["dropped_rows"] == 3
+        assert payload["saved"] is False
+        after = app.knn("live", serve_queries[0], k=3)
+        assert after["generation"] == 2
+        assert after["ids"] == before["ids"]
+        assert after["distances"] == before["distances"]
+
+    def test_snapshot_backed_compact_resaves_in_place(self, tmp_path,
+                                                      make_index, serve_rows,
+                                                      serve_queries):
+        snapshot = tmp_path / "live-snapshot"
+        make_index(serve_rows).dynamic().save(snapshot)
+        app = SearchApp(ServeConfig(max_k=10))
+        try:
+            app.load_snapshot("live", snapshot, writable=True)
+            app.insert("live", serve_rows[:2])
+            payload = app.compact("live")
+            assert payload["saved"] is True
+            assert payload["num_surviving"] == 302
+            # A fresh app restarted from the same directory resumes from the
+            # compacted state — the in-place re-save is the restart story.
+            restarted = SearchApp(ServeConfig(max_k=10))
+            try:
+                restarted.load_snapshot("live", snapshot, writable=True)
+                listing = restarted.list_indexes()["indexes"][0]
+                assert listing["num_series"] == 302
+                want = app.knn("live", serve_queries[0], k=3)
+                got = restarted.knn("live", serve_queries[0], k=3)
+                assert got["ids"] == want["ids"]
+                assert got["distances"] == want["distances"]
+            finally:
+                restarted.close()
+        finally:
+            app.close()
+
+
+class TestSnapshotLoading:
+    def test_read_only_snapshot_serves_and_rejects_writes(self, tmp_path,
+                                                          make_index,
+                                                          serve_rows,
+                                                          serve_queries):
+        snapshot = tmp_path / "static-snapshot"
+        index = make_index(serve_rows)
+        index.save(snapshot)
+        app = SearchApp()
+        try:
+            entry = app.load_snapshot("frozen", snapshot)
+            assert entry.read_only is True
+            expected = index.knn(serve_queries[0], k=2)
+            payload = app.knn("frozen", serve_queries[0], k=2)
+            assert payload["ids"] == [int(row) for row in expected.indices]
+            with pytest.raises(ReadOnlyIndexError):
+                app.insert("frozen", serve_rows[0])
+        finally:
+            app.close()

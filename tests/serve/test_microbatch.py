@@ -1,0 +1,226 @@
+"""The micro-batching queue and the k-NN batcher built on it."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.errors import (
+    InvalidParameterError,
+    SearchError,
+    ShutdownError,
+    ValidationError,
+)
+from repro.parallel import MicroBatchQueue
+from repro.serve.batching import KnnBatcher
+
+
+class TestMicroBatchQueue:
+    def test_single_submit_round_trips(self):
+        queue = MicroBatchQueue(lambda items: [x * 2 for x in items],
+                                max_wait_s=0.0)
+        try:
+            assert queue.submit(21) == 42
+        finally:
+            queue.close()
+
+    def test_concurrent_submissions_coalesce(self):
+        """While one batch is being processed, later submissions pile up and
+        are drained as a single following batch."""
+        release_first = threading.Event()
+        first_entered = threading.Event()
+
+        def process(items):
+            if not first_entered.is_set():
+                first_entered.set()
+                assert release_first.wait(10)
+            return [x + 1 for x in items]
+
+        queue = MicroBatchQueue(process, max_batch=64, max_wait_s=0.0)
+        try:
+            results: dict = {}
+            def submit(value):
+                results[value] = queue.submit(value, timeout=30)
+            first = threading.Thread(target=submit, args=(0,))
+            first.start()
+            assert first_entered.wait(10)
+            rest = [threading.Thread(target=submit, args=(value,))
+                    for value in range(1, 6)]
+            for thread in rest:
+                thread.start()
+            # The five stragglers park in the pending list (nothing can drain
+            # until the first batch's processor returns); wait until all five
+            # actually enqueued before releasing, or the count is racy.
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                with queue._condition:
+                    if len(queue._pending) == 5:
+                        break
+                time.sleep(0.001)
+            release_first.set()
+            first.join(10)
+            for thread in rest:
+                thread.join(10)
+            assert results == {value: value + 1 for value in range(6)}
+            stats = queue.stats
+            assert stats["batched_queries"] == 6
+            assert stats["batches"] == 2  # [0] then [1..5] coalesced
+            assert stats["largest_batch"] == 5
+            assert stats["mean_batch_size"] == 3.0
+        finally:
+            queue.close()
+
+    def test_exception_outcome_hits_only_its_submitter(self):
+        def process(items):
+            return [ValueError("poisoned") if x < 0 else x for x in items]
+
+        queue = MicroBatchQueue(process, max_wait_s=0.0)
+        try:
+            assert queue.submit(5) == 5
+            with pytest.raises(ValueError, match="poisoned"):
+                queue.submit(-1)
+            assert queue.submit(7) == 7  # queue survives the failure
+        finally:
+            queue.close()
+
+    def test_processor_raising_fails_the_whole_batch(self):
+        def process(items):
+            raise SearchError("engine exploded")
+
+        queue = MicroBatchQueue(process, max_wait_s=0.0)
+        try:
+            with pytest.raises(SearchError, match="engine exploded"):
+                queue.submit(1)
+        finally:
+            queue.close()
+
+    def test_wrong_outcome_count_is_a_typed_failure(self):
+        queue = MicroBatchQueue(lambda items: [], max_wait_s=0.0)
+        try:
+            with pytest.raises(InvalidParameterError, match="0 outcomes"):
+                queue.submit(1)
+        finally:
+            queue.close()
+
+    def test_submit_after_close_raises_shutdown(self):
+        queue = MicroBatchQueue(lambda items: list(items), max_wait_s=0.0)
+        queue.close()
+        with pytest.raises(ShutdownError):
+            queue.submit(1)
+
+    def test_close_is_idempotent(self):
+        queue = MicroBatchQueue(lambda items: list(items), max_wait_s=0.0)
+        queue.close()
+        queue.close()
+
+    def test_constructor_validation(self):
+        with pytest.raises(InvalidParameterError):
+            MicroBatchQueue(lambda items: items, max_batch=0)
+        with pytest.raises(InvalidParameterError):
+            MicroBatchQueue(lambda items: items, max_wait_s=-1.0)
+
+
+class TestKnnBatcher:
+    @pytest.fixture()
+    def engine(self, static_index):
+        return static_index
+
+    @pytest.fixture()
+    def batcher(self, engine):
+        knn_batcher = KnnBatcher(lambda: engine, max_wait_s=0.001)
+        yield knn_batcher
+        knn_batcher.close()
+
+    def test_batched_answers_match_direct_knn(self, batcher, engine,
+                                              serve_queries):
+        """Answers through the coalescing queue are bit-identical to direct
+        per-query knn, under real thread concurrency."""
+        expected = [engine.knn(query, k=3) for query in serve_queries]
+        results: list = [None] * len(serve_queries)
+
+        def ask(position):
+            results[position] = batcher.submit(serve_queries[position], 3, None)
+
+        threads = [threading.Thread(target=ask, args=(position,))
+                   for position in range(len(serve_queries))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        for got, want in zip(results, expected):
+            np.testing.assert_array_equal(got.indices, want.indices)
+            np.testing.assert_array_equal(got.distances, want.distances)
+
+    def test_mixed_k_requests_group_correctly(self, batcher, engine,
+                                              serve_queries):
+        expected_k1 = engine.knn(serve_queries[0], k=1)
+        expected_k5 = engine.knn(serve_queries[1], k=5)
+        outcomes: dict = {}
+
+        def ask(key, query, k):
+            outcomes[key] = batcher.submit(query, k, None)
+
+        threads = [threading.Thread(target=ask,
+                                    args=("k1", serve_queries[0], 1)),
+                   threading.Thread(target=ask,
+                                    args=("k5", serve_queries[1], 5))]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        np.testing.assert_array_equal(outcomes["k1"].indices,
+                                      expected_k1.indices)
+        np.testing.assert_array_equal(outcomes["k5"].indices,
+                                      expected_k5.indices)
+
+    def test_malformed_query_cannot_poison_neighbours(self, batcher, engine,
+                                                      serve_queries):
+        """A wrong-length query in a coalesced batch fails alone; the valid
+        neighbour still gets its exact answer."""
+        expected = engine.knn(serve_queries[0], k=2)
+        outcomes: dict = {}
+
+        def ask_good():
+            outcomes["good"] = batcher.submit(serve_queries[0], 2, None)
+
+        def ask_bad():
+            try:
+                batcher.submit(np.zeros(7), 2, None)
+            except Exception as error:  # noqa: BLE001 - captured for assertion
+                outcomes["bad"] = error
+
+        threads = [threading.Thread(target=ask_good),
+                   threading.Thread(target=ask_bad)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert isinstance(outcomes["bad"], ValidationError)
+        np.testing.assert_array_equal(outcomes["good"].indices,
+                                      expected.indices)
+
+    def test_k_and_timeout_validated_on_the_callers_thread(self, batcher):
+        with pytest.raises(ValidationError, match="k must be an integer"):
+            batcher.submit(np.zeros(64), "3", None)
+        with pytest.raises(SearchError, match="k must be >= 1"):
+            batcher.submit(np.zeros(64), 0, None)
+        with pytest.raises(ValidationError, match="timeout_s must be a number"):
+            batcher.submit(np.zeros(64), 1, [1.0])
+
+    def test_engine_lookup_is_per_batch(self, make_index, serve_rows,
+                                        serve_queries):
+        """Swapping the engine behind the getter redirects the next batch —
+        the hot-reload contract the app relies on."""
+        holder = {"engine": make_index(serve_rows)}
+        batcher = KnnBatcher(lambda: holder["engine"], max_wait_s=0.0)
+        try:
+            before = batcher.submit(serve_queries[0], 1, None)
+            holder["engine"] = make_index(serve_rows[:100])
+            after = batcher.submit(serve_queries[0], 1, None)
+            assert before.stats.num_series == 300
+            assert after.stats.num_series == 100
+        finally:
+            batcher.close()

@@ -1,0 +1,108 @@
+"""The typed-error → HTTP-status map: totality, specificity, payload shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import errors as error_module
+from repro.core.errors import (
+    CorruptionError,
+    DatasetError,
+    IndexError_,
+    InvalidParameterError,
+    NotFittedError,
+    ReadOnlyIndexError,
+    ReproError,
+    SearchError,
+    ShutdownError,
+    UnknownIndexError,
+    ValidationError,
+    WalError,
+)
+from repro.serve.errors import STATUS_MAP, error_payload, status_for
+
+
+def all_repro_error_types() -> "set[type]":
+    """Every ReproError subclass reachable from the hierarchy, recursively."""
+    found: "set[type]" = set()
+    frontier = [ReproError]
+    while frontier:
+        current = frontier.pop()
+        if current in found:
+            continue
+        found.add(current)
+        frontier.extend(current.__subclasses__())
+    return found
+
+
+class TestTotality:
+    def test_every_error_type_gets_a_status(self):
+        """The map is total over the whole hierarchy — no typed failure can
+        reach the HTTP layer without a deliberate status code."""
+        for error_type in all_repro_error_types():
+            status = status_for(error_type("boom"))
+            assert 400 <= status < 600, (
+                f"{error_type.__name__} resolved to non-HTTP status {status}")
+
+    def test_module_declares_no_unmapped_public_errors(self):
+        """Every public exception in repro.core.errors resolves through an
+        explicit map row (not only via the ReproError fallback) unless it IS
+        the base class — so adding an error type forces a mapping decision."""
+        explicit = {error_type for error_type, _ in STATUS_MAP}
+        for name in dir(error_module):
+            obj = getattr(error_module, name)
+            if (isinstance(obj, type) and issubclass(obj, ReproError)
+                    and obj is not ReproError):
+                matched = next(t for t, _ in STATUS_MAP
+                               if issubclass(obj, t))
+                assert matched is not ReproError or obj in explicit, (
+                    f"{name} only matches the ReproError catch-all; "
+                    f"add it to STATUS_MAP")
+
+    def test_non_library_errors_are_server_bugs(self):
+        assert status_for(RuntimeError("x")) == 500
+        assert status_for(KeyError("x")) == 500
+
+
+class TestSpecificity:
+    @pytest.mark.parametrize("error, status", [
+        (ValidationError("bad query"), 400),
+        (InvalidParameterError("bad parameter"), 400),
+        (DatasetError("bad dataset"), 400),
+        (SearchError("k too large"), 400),
+        (UnknownIndexError("no such index"), 404),
+        (ReadOnlyIndexError("static"), 409),
+        (NotFittedError("not fitted"), 409),
+        (IndexError_("index conflict"), 409),
+        (CorruptionError("torn payload"), 500),
+        (WalError("unreadable log"), 500),
+        (ShutdownError("draining"), 503),
+        (ReproError("anything else"), 500),
+    ])
+    def test_status(self, error, status):
+        assert status_for(error) == status
+
+    def test_validation_beats_its_bases(self):
+        """ValidationError derives from both SearchError and IndexError_;
+        the client mistake (400) must win over the index conflict (409)."""
+        assert status_for(ValidationError("x")) == 400
+
+    def test_corruption_beats_index_family(self):
+        """CorruptionError is an IndexError_, but it is server-side damage
+        (500), not a client conflict (409)."""
+        assert status_for(CorruptionError("x")) == 500
+
+
+class TestPayload:
+    def test_shape(self):
+        payload = error_payload(UnknownIndexError("no index named 'x'"))
+        assert payload == {"error": {
+            "type": "UnknownIndexError",
+            "message": "no index named 'x'",
+            "status": 404,
+        }}
+
+    def test_concrete_class_name_travels(self):
+        """Clients branch on the taxonomy (e.g. retry ShutdownError), so the
+        payload must carry the concrete class, not a family name."""
+        assert error_payload(ShutdownError("x"))["error"]["type"] == "ShutdownError"
