@@ -1,0 +1,105 @@
+"""Sharded scatter-gather under partial failure: degrade, repair, readmit.
+
+One index, ``N`` independently built and persisted shards.  A query fans
+out to every healthy shard and the per-shard answers are merged under a
+total order, so a healthy sharded index is **bit-identical** to the
+unsharded one.  When a shard breaks — here, corrupt payload bytes on
+disk — it trips the ``healthy → suspect → quarantined`` ladder and the
+index keeps answering from the survivors, reporting exactly how much of
+the data the answer covers.  This example runs the full lifecycle of
+:class:`repro.index.sharded.ShardedIndex`:
+
+1. **build** a 4-shard index and show the healthy answer equals the
+   unsharded reference, global ids and distances alike,
+2. **corrupt** one shard's on-disk payload: the next query detects it
+   (checksummed load → typed ``CorruptionError``), quarantines the shard,
+   and answers with ``partial=True`` and ``coverage == 3/4``,
+3. **repair** the bytes and ``probe_shard``: the shard reloads from its
+   snapshot, is readmitted, and answers are whole again.
+
+Run with::
+
+    python examples/sharded_degraded.py
+"""
+
+from __future__ import annotations
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.synthetic import random_walk
+from repro.index.shard_health import HealthPolicy, RetryPolicy
+from repro.index.sharded import ShardedIndex
+from repro.index.sofa import SofaIndex
+
+NUM_SERIES = 400
+SERIES_LENGTH = 96
+NUM_SHARDS = 4
+K = 5
+
+
+def factory() -> SofaIndex:
+    return SofaIndex(word_length=8, alphabet_size=64, leaf_size=32)
+
+
+def describe(result) -> str:
+    stats = result.stats
+    flavour = "partial" if stats.partial else "complete"
+    return (f"{flavour}, coverage {stats.shards_answered}/{stats.shards_total},"
+            f" ids {result.indices.tolist()}")
+
+
+def main() -> None:
+    rows = random_walk(NUM_SERIES, SERIES_LENGTH, seed=404)
+    query = rows[7] + 0.05 * random_walk(1, SERIES_LENGTH, seed=405)[0]
+    workdir = Path(tempfile.mkdtemp(prefix="sharded-degraded-example-"))
+    try:
+        # --- 1. healthy: sharded == unsharded, bit for bit ----------------
+        index = ShardedIndex.build(
+            rows, workdir / "shards", num_shards=NUM_SHARDS,
+            index_factory=factory,
+            retry=RetryPolicy(max_attempts=2, backoff_base_s=0.005),
+            health=HealthPolicy(auto_probe=False))
+        reference = factory().build(rows)
+        healthy = index.knn(query, k=K)
+        expected = reference.knn(query, k=K)
+        assert np.array_equal(healthy.indices, expected.indices)
+        assert np.array_equal(healthy.distances, expected.distances)
+        print(f"healthy : {describe(healthy)}  (== unsharded reference)")
+
+        # --- 2. corrupt shard 2 on disk -----------------------------------
+        victim_shard = index._shards[2]
+        victim_shard.engine.close()
+        victim_shard.engine = None  # the next query reloads from disk
+        (payload,) = sorted(victim_shard.path.glob("*.npy"))[:1]
+        pristine = payload.read_bytes()
+        payload.write_bytes(pristine[:64] + b"\xff" * 32 + pristine[96:])
+
+        degraded = index.knn(query, k=K)
+        print(f"degraded: {describe(degraded)}")
+        print(f"states  : {index.shard_states()}")
+        assert degraded.stats.partial
+        assert index.shard_states()[2] == "quarantined"
+        # A quarantined shard is skipped outright — no per-query retry tax.
+        assert index.probe_shard(2) is False  # still broken on disk
+
+        # --- 3. repair + probe + readmit ----------------------------------
+        payload.write_bytes(pristine)
+        assert index.probe_shard(2) is True
+        repaired = index.knn(query, k=K)
+        assert np.array_equal(repaired.indices, expected.indices)
+        assert np.array_equal(repaired.distances, expected.distances)
+        print(f"repaired: {describe(repaired)}  (bit-identical again)")
+        report = index.health_report()
+        print(f"report  : quarantined={report['quarantined']} "
+              f"readmits={report['shards'][2]['readmits']}")
+        index.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -23,7 +23,9 @@ from repro.baselines import FlatL2Index, SerialScan, UcrSuiteScan
 from repro.core import (
     CorruptionError,
     Dataset,
+    PartialResultError,
     ReproError,
+    ShardError,
     ValidationError,
     WalError,
     euclidean,
@@ -48,7 +50,9 @@ from repro.index import (
     DynamicIndex,
     ExactSearcher,
     MessiIndex,
+    RetryPolicy,
     SearchResult,
+    ShardedIndex,
     SofaIndex,
     TreeIndex,
     WriteAheadLog,
@@ -71,11 +75,15 @@ __all__ = [
     "HierarchicalBins",
     "MessiIndex",
     "PAA",
+    "PartialResultError",
     "SAX",
     "SFA",
     "ReproError",
+    "RetryPolicy",
     "SearchResult",
     "SerialScan",
+    "ShardError",
+    "ShardedIndex",
     "SofaIndex",
     "TreeIndex",
     "UcrSuiteScan",

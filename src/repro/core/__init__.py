@@ -11,12 +11,16 @@ from repro.core.distance import (
 from repro.core.errors import (
     CorruptionError,
     DatasetError,
+    DrainerError,
     InvalidParameterError,
     IndexError_,
     NotFittedError,
+    OverloadedError,
+    PartialResultError,
     ReadOnlyIndexError,
     ReproError,
     SearchError,
+    ShardError,
     ShutdownError,
     UnknownIndexError,
     ValidationError,
@@ -40,13 +44,17 @@ __all__ = [
     "CorruptionError",
     "Dataset",
     "DatasetError",
+    "DrainerError",
     "GrowableArray",
     "IndexError_",
     "InvalidParameterError",
     "NotFittedError",
+    "OverloadedError",
+    "PartialResultError",
     "ReadOnlyIndexError",
     "ReproError",
     "SearchError",
+    "ShardError",
     "ShutdownError",
     "UnknownIndexError",
     "ValidationError",

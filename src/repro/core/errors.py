@@ -75,6 +75,60 @@ class ShutdownError(ReproError):
     """
 
 
+class ShardError(IndexError_):
+    """Raised when one shard of a sharded index cannot answer.
+
+    Wraps the shard's underlying failure (load race, timeout, worker death)
+    after retries are exhausted; the message names the shard and the attempt
+    count so operators can tell *which* partition is misbehaving.  Inside a
+    scatter-gather query this is a per-shard verdict — the query itself still
+    returns a partial answer under the ``degraded="allow"`` policy.
+    """
+
+
+class PartialResultError(SearchError):
+    """Raised when a sharded query cannot be answered at full coverage.
+
+    Carries the coverage accounting so callers (and the HTTP layer) can
+    report exactly how much of the collection was reachable.  Raised when
+    the ``degraded="forbid"`` policy rejects a partial answer, and always
+    when *no* shard answered (there is nothing to return).
+    """
+
+    def __init__(self, message: str, *, shards_total: int = 0,
+                 shards_answered: int = 0,
+                 failures: "dict[int, str] | None" = None) -> None:
+        super().__init__(message)
+        self.shards_total = int(shards_total)
+        self.shards_answered = int(shards_answered)
+        self.failures = dict(failures or {})
+
+    @property
+    def coverage(self) -> float:
+        if self.shards_total == 0:
+            return 0.0
+        return self.shards_answered / self.shards_total
+
+
+class OverloadedError(ReproError):
+    """Raised when a component sheds load instead of queueing more work.
+
+    The serving layer's micro-batch queue rejects submissions beyond its
+    configured backlog bound with this type; the HTTP layer renders it as
+    503 with a ``Retry-After`` header so well-behaved clients back off
+    instead of piling latency onto everyone.
+    """
+
+
+class DrainerError(ReproError):
+    """Raised to submitters whose micro-batch drainer thread died.
+
+    A drainer-level failure (anything escaping the per-batch handler) fails
+    every pending item with this type — never a silent hang until timeout —
+    and the queue restarts the drainer so later submissions keep working.
+    """
+
+
 class CorruptionError(IndexError_):
     """Raised when stored index data fails a checksum or is torn/truncated.
 

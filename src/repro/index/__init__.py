@@ -57,6 +57,16 @@ from repro.index.search import (
     SearchStats,
     SharedKnnHeap,
 )
+from repro.index.shard_health import (
+    HEALTHY,
+    QUARANTINED,
+    SHARD_STATES,
+    SUSPECT,
+    HealthPolicy,
+    RetryPolicy,
+    ShardHealthBoard,
+)
+from repro.index.sharded import DEGRADED_MODES, ShardedIndex
 from repro.index.sofa import SofaIndex
 from repro.index.stats import (
     IndexStructureStats,
@@ -70,17 +80,26 @@ from repro.index.wal import WalRecord, WriteAheadLog, read_records
 __all__ = [
     "BatchSearcher",
     "BuildTimings",
+    "DEGRADED_MODES",
     "DeltaView",
     "DynamicIndex",
     "ExactSearcher",
     "FORMAT_VERSION",
+    "HEALTHY",
+    "HealthPolicy",
     "IndexStructureStats",
     "InnerNode",
     "LeafNode",
     "MessiIndex",
     "Node",
+    "QUARANTINED",
+    "RetryPolicy",
+    "SHARD_STATES",
+    "SUSPECT",
     "SearchResult",
     "SearchStats",
+    "ShardHealthBoard",
+    "ShardedIndex",
     "SharedKnnHeap",
     "SofaIndex",
     "SummaryBuffer",

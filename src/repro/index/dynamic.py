@@ -467,7 +467,8 @@ class DynamicIndex:
 
     def knn(self, query: np.ndarray, k: int = 1,
             num_workers: "int | None" = None,
-            timeout_s: "float | None" = None) -> SearchResult:
+            timeout_s: "float | None" = None,
+            shared_best: "object | None" = None) -> SearchResult:
         """Exact k-NN over *tree ∪ delta − tombstones*.
 
         Bit-identical to a scratch rebuild on the surviving rows (answers are
@@ -476,10 +477,36 @@ class DynamicIndex:
         as one more work item — against a shared best-so-far; answers are
         bit-identical for every worker count, mid-ingest included.
         ``timeout_s`` bounds the search: on expiry the best-so-far is
-        finalized with ``stats.timed_out=True``.
+        finalized with ``stats.timed_out=True``.  ``shared_best`` couples the
+        search to an external (cross-shard) best-so-far; see
+        :meth:`~repro.index.search.ExactSearcher.knn`.
         """
         return self._state.searcher.knn(query, k=k, num_workers=num_workers,
-                                        timeout_s=timeout_s)
+                                        timeout_s=timeout_s,
+                                        shared_best=shared_best)
+
+    def gather_values(self, rows) -> np.ndarray:
+        """Stack the served (normalized) values of global ``rows``.
+
+        Resolves base rows against the tree's dataset and delta rows against
+        the append buffer — the same gather the search engines finalize with,
+        exposed so the sharded scatter-gather can recompute merged distances
+        canonically.  Safe against concurrent inserts (append-only buffers);
+        callers racing a compaction must re-validate their row ids.
+        """
+        state = self._state
+        rows = np.asarray(rows, dtype=np.int64)
+        values = np.asarray(state.tree.dataset.values)
+        if rows.size == 0:
+            return np.empty((0, values.shape[1]), dtype=np.float64)
+        in_delta = rows >= state.num_base
+        if not in_delta.any():
+            return np.asarray(values[rows], dtype=np.float64)
+        gathered = np.empty((rows.shape[0], values.shape[1]), dtype=np.float64)
+        gathered[~in_delta] = values[rows[~in_delta]]
+        gathered[in_delta] = state.delta_values.view[rows[in_delta]
+                                                     - state.num_base]
+        return gathered
 
     def nearest_neighbor(self, query: np.ndarray,
                          num_workers: "int | None" = None,

@@ -103,6 +103,22 @@ class SearchStats:
     #: the answer is the best-so-far at expiry (every reported distance is a
     #: true distance, but a closer unrefined series may exist).
     timed_out: bool = False
+    #: Scatter-gather accounting of a sharded query (0/0 on unsharded
+    #: engines): how many shards the query was scattered over, and how many
+    #: contributed their candidates to the gather.
+    shards_total: int = 0
+    shards_answered: int = 0
+    #: True when at least one shard was excluded (quarantined, failed, or out
+    #: of deadline): every reported distance is still exact, but the answer
+    #: covers only the surviving shards' rows.
+    partial: bool = False
+
+    @property
+    def coverage(self) -> float:
+        """Answered fraction of the scatter (1.0 for unsharded queries)."""
+        if self.shards_total == 0:
+            return 1.0
+        return self.shards_answered / self.shards_total
 
     @property
     def refinement_time(self) -> float:
@@ -320,6 +336,39 @@ class SharedKnnHeap:
             return self._heap.sorted_items()
 
 
+class _TandemHeap:
+    """A query-local heap coupled to an external (cross-shard) best-so-far.
+
+    The sharded scatter-gather engine hands every shard's search the same
+    global best-so-far through this wrapper: the effective pruning threshold
+    is the *tighter* of the local k-th best and the externally published
+    bound, and every refined block is offered to both sides.  Pruning a
+    shard's candidates against the global threshold is admissible because a
+    true global top-k candidate has ``bound <= distance <= global k-th <=
+    published threshold`` and the tie-tolerant ``_admissible`` filter keeps
+    candidates *at* the threshold — so the union of the shards' retained
+    sets always contains the global winners, no matter how the shards'
+    refinement interleaves.  ``external`` only needs ``threshold`` and
+    ``offer_block(squared, rows)`` (the sharded engine passes an adapter
+    that translates shard-local rows to global ids before offering).
+    """
+
+    def __init__(self, inner, external) -> None:
+        self._inner = inner
+        self._external = external
+
+    @property
+    def threshold(self) -> float:
+        return min(self._inner.threshold, self._external.threshold)
+
+    def offer_block(self, squared: np.ndarray, rows: np.ndarray) -> None:
+        self._inner.offer_block(squared, rows)
+        self._external.offer_block(squared, rows)
+
+    def sorted_items(self) -> list[tuple[float, int]]:
+        return self._inner.sorted_items()
+
+
 #: Series length at or above which exact refinement switches to the blocked
 #: early-abandoning ED kernel.  For short series the expanded-form BLAS
 #: kernel wins outright; for long series most candidates blow past the BSF
@@ -428,7 +477,8 @@ class ExactSearcher:
 
     def knn(self, query: np.ndarray, k: int = 1,
             num_workers: "int | None" = None,
-            timeout_s: "float | None" = None) -> SearchResult:
+            timeout_s: "float | None" = None,
+            shared_best: "object | None" = None) -> SearchResult:
         """Exact k nearest neighbours of ``query`` under the (z-)ED.
 
         ``num_workers`` threads drain the query's own surviving-leaf queue
@@ -440,16 +490,23 @@ class ExactSearcher:
         mid-refinement the current best-so-far is finalized and returned with
         ``stats.timed_out=True`` (every reported distance is exact; the set
         may miss a closer unrefined series) instead of running to completion.
+
+        ``shared_best`` couples this search to an external best-so-far (see
+        :class:`_TandemHeap`): the sharded engine passes each shard the same
+        global bound, so one shard's tightened threshold prunes every other
+        shard's remaining work — PR 5's broadcast, lifted across shards.
         """
         k = validated_count(k)
         deadline = resolve_deadline(timeout_s)
         num_workers = resolve_num_workers(num_workers)
         delta = self._delta_source() if self._delta_source is not None else None
         return self._knn_under_delta(query, k, num_workers, delta,
-                                     deadline=deadline)
+                                     deadline=deadline,
+                                     shared_best=shared_best)
 
     def _knn_under_delta(self, query: np.ndarray, k: int, num_workers: int,
-                         delta, deadline: "float | None" = None) -> SearchResult:
+                         delta, deadline: "float | None" = None,
+                         shared_best: "object | None" = None) -> SearchResult:
         """The engine behind :meth:`knn`, with the dynamic overlay pinned.
 
         The batched engine's intra-query fallback calls this directly so a
@@ -472,6 +529,8 @@ class ExactSearcher:
 
         stats = SearchStats(num_series=available, num_workers=num_workers)
         heap = SharedKnnHeap(k) if num_workers > 1 else _KnnHeap(k)
+        if shared_best is not None:
+            heap = _TandemHeap(heap, shared_best)
 
         if self.index.average_leaf_size < self.flat_refinement_threshold:
             # Degenerate tree (typical at reproduction scale when the selected

@@ -1,0 +1,256 @@
+"""Per-shard health tracking and deterministic retry policy.
+
+The sharded scatter-gather engine (:mod:`repro.index.sharded`) isolates
+failures per shard instead of failing whole queries.  This module holds the
+two pure, independently testable pieces of that machinery:
+
+* :class:`RetryPolicy` — capped exponential backoff with *seeded* jitter.
+  The jitter is a pure function of ``(seed, shard, attempt)``, so the retry
+  schedule of any failure scenario is reproducible in tests and the property
+  "a backoff sleep never exceeds the remaining per-shard deadline slice" can
+  be checked exhaustively rather than statistically.
+* :class:`ShardHealthBoard` — the ``healthy → suspect → quarantined`` state
+  machine, one record per shard, updated from query outcomes and probes.
+  Transient failures (timeouts, load races) escalate gradually; persistent
+  ones (:class:`~repro.core.errors.CorruptionError`) quarantine immediately
+  and mark the shard's engine for a reload-from-disk before readmission.
+
+Neither piece knows about engines, snapshots or HTTP: the board is plain
+bookkeeping under one lock, which is what keeps every transition atomic even
+when scatter workers, the probe thread and ``/healthz`` race on it.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+from repro.core.errors import InvalidParameterError
+
+#: Shard states of the degradation state machine.  A ``healthy`` shard is
+#: queried normally; a ``suspect`` shard is still queried (it failed recently
+#: but below the quarantine threshold); a ``quarantined`` shard is excluded
+#: from the scatter until a probe readmits it.
+HEALTHY = "healthy"
+SUSPECT = "suspect"
+QUARANTINED = "quarantined"
+
+SHARD_STATES = (HEALTHY, SUSPECT, QUARANTINED)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic capped exponential backoff for per-shard retries.
+
+    ``max_attempts`` bounds how often one query retries one shard before the
+    failure is reported to the health board as exhausted.  The backoff before
+    retry ``attempt`` (0-based: the sleep after the first failure is
+    ``backoff_s(0, ...)``) is
+
+    ``min(backoff_cap_s, backoff_base_s * 2**attempt) * (1 + jitter * u)``
+
+    where ``u ∈ [0, 1)`` comes from a PRNG seeded with ``(seed, shard,
+    attempt)`` — the same scenario always sleeps the same amounts, so fault
+    tests are reproducible.  The result is clamped to the optional ``limit``
+    (the remaining deadline slice), which is what guarantees a retrying
+    scatter worker can never sleep past the query's deadline.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.005
+    backoff_cap_s: float = 0.1
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidParameterError(
+                f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not self.backoff_base_s >= 0:
+            raise InvalidParameterError(
+                f"backoff_base_s must be >= 0, got {self.backoff_base_s}")
+        if not self.backoff_cap_s >= 0:
+            raise InvalidParameterError(
+                f"backoff_cap_s must be >= 0, got {self.backoff_cap_s}")
+        if not 0 <= self.jitter <= 1:
+            raise InvalidParameterError(
+                f"jitter must be in [0, 1], got {self.jitter}")
+
+    def backoff_s(self, attempt: int, shard: int = 0,
+                  limit: "float | None" = None) -> float:
+        """Sleep before retry ``attempt`` of ``shard``; never above ``limit``.
+
+        Deterministic: the jitter PRNG is seeded from ``(seed, shard,
+        attempt)`` alone (mixed into one integer — tuple seeding was removed
+        from :class:`random.Random`), so equal inputs always produce equal
+        delays, and the bound ``backoff_cap_s * (1 + jitter)`` always holds.
+        """
+        exponential = min(self.backoff_cap_s,
+                          self.backoff_base_s * (2.0 ** attempt))
+        mixed = (self.seed * 1_000_003 + shard * 8_191 + attempt) & 0xFFFFFFFF
+        unit = random.Random(mixed).random()
+        delay = exponential * (1.0 + self.jitter * unit)
+        if limit is not None:
+            delay = min(delay, max(0.0, limit))
+        return delay
+
+
+@dataclass(frozen=True)
+class HealthPolicy:
+    """When failures escalate and how quarantined shards are probed.
+
+    ``suspect_after`` / ``quarantine_after`` count *consecutive* transient
+    failures (any success resets the streak).  Persistent failures skip the
+    ladder and quarantine immediately.  ``probe_interval_s`` paces the
+    background probe-and-readmit loop; ``auto_probe=False`` disables the
+    background thread (probes then only happen via explicit
+    ``probe_shard`` calls — what the deterministic fault tests use).
+    """
+
+    suspect_after: int = 1
+    quarantine_after: int = 3
+    probe_interval_s: float = 0.25
+    auto_probe: bool = True
+
+    def __post_init__(self) -> None:
+        if self.suspect_after < 1:
+            raise InvalidParameterError(
+                f"suspect_after must be >= 1, got {self.suspect_after}")
+        if self.quarantine_after < self.suspect_after:
+            raise InvalidParameterError(
+                f"quarantine_after ({self.quarantine_after}) must be >= "
+                f"suspect_after ({self.suspect_after})")
+        if not self.probe_interval_s > 0:
+            raise InvalidParameterError(
+                f"probe_interval_s must be positive, got {self.probe_interval_s}")
+
+
+class _ShardHealth:
+    """Mutable health record of one shard (guarded by the board's lock)."""
+
+    __slots__ = ("state", "consecutive_failures", "quarantine_trips",
+                 "readmits", "last_error", "needs_reload")
+
+    def __init__(self) -> None:
+        self.state = HEALTHY
+        self.consecutive_failures = 0
+        self.quarantine_trips = 0
+        self.readmits = 0
+        self.last_error: "str | None" = None
+        self.needs_reload = False
+
+
+class ShardHealthBoard:
+    """Thread-safe ``healthy → suspect → quarantined`` records, one per shard.
+
+    The scatter workers report outcomes (:meth:`record_success`,
+    :meth:`record_transient`, :meth:`record_persistent`), the probe loop asks
+    :meth:`quarantined_indices` and calls :meth:`readmit`, and the serving
+    layer snapshots everything with :meth:`report`.  All transitions happen
+    under one lock, so a success and a failure racing from two queries leave
+    the record in one of the two serialized orders — never a torn mix.
+    """
+
+    def __init__(self, num_shards: int,
+                 policy: "HealthPolicy | None" = None) -> None:
+        if num_shards < 1:
+            raise InvalidParameterError(
+                f"num_shards must be >= 1, got {num_shards}")
+        self.policy = policy if policy is not None else HealthPolicy()
+        self._lock = threading.Lock()
+        self._shards = [_ShardHealth() for _ in range(num_shards)]
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    # ------------------------------------------------------------- outcomes
+
+    def record_success(self, shard: int) -> str:
+        """An answered query (or passed probe): reset the failure streak."""
+        with self._lock:
+            record = self._shards[shard]
+            if record.state == QUARANTINED:
+                record.readmits += 1
+            record.state = HEALTHY
+            record.consecutive_failures = 0
+            record.last_error = None
+            record.needs_reload = False
+            return record.state
+
+    def record_transient(self, shard: int, error: BaseException) -> str:
+        """A retryable failure (timeout, load race): escalate the ladder.
+
+        Returns the shard's new state so the caller can react to the
+        ``quarantined`` edge (stop retrying, wake the probe loop).
+        """
+        with self._lock:
+            record = self._shards[shard]
+            record.consecutive_failures += 1
+            record.last_error = f"{type(error).__name__}: {error}"
+            if record.state != QUARANTINED:
+                if record.consecutive_failures >= self.policy.quarantine_after:
+                    record.state = QUARANTINED
+                    record.quarantine_trips += 1
+                elif record.consecutive_failures >= self.policy.suspect_after:
+                    record.state = SUSPECT
+            return record.state
+
+    def record_persistent(self, shard: int, error: BaseException) -> str:
+        """A non-retryable failure (corruption): quarantine immediately.
+
+        The shard is additionally marked ``needs_reload``: its in-memory
+        engine (if any) must be dropped and reloaded from disk before a probe
+        can readmit it — retrying a corrupt engine cannot succeed.
+        """
+        with self._lock:
+            record = self._shards[shard]
+            record.consecutive_failures += 1
+            record.last_error = f"{type(error).__name__}: {error}"
+            record.needs_reload = True
+            if record.state != QUARANTINED:
+                record.state = QUARANTINED
+                record.quarantine_trips += 1
+            return record.state
+
+    def readmit(self, shard: int) -> None:
+        """A probe succeeded: return the shard to the scatter set."""
+        self.record_success(shard)
+
+    # ----------------------------------------------------------- inspection
+
+    def state(self, shard: int) -> str:
+        with self._lock:
+            return self._shards[shard].state
+
+    def is_quarantined(self, shard: int) -> bool:
+        with self._lock:
+            return self._shards[shard].state == QUARANTINED
+
+    def needs_reload(self, shard: int) -> bool:
+        with self._lock:
+            return self._shards[shard].needs_reload
+
+    def quarantined_indices(self) -> "list[int]":
+        with self._lock:
+            return [index for index, record in enumerate(self._shards)
+                    if record.state == QUARANTINED]
+
+    def any_quarantined(self) -> bool:
+        with self._lock:
+            return any(record.state == QUARANTINED for record in self._shards)
+
+    def report(self) -> "list[dict]":
+        """JSON-ready per-shard records for ``/healthz`` and ``health_report``."""
+        with self._lock:
+            return [
+                {
+                    "shard": index,
+                    "state": record.state,
+                    "consecutive_failures": record.consecutive_failures,
+                    "quarantine_trips": record.quarantine_trips,
+                    "readmits": record.readmits,
+                    "last_error": record.last_error,
+                }
+                for index, record in enumerate(self._shards)
+            ]

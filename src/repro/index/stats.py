@@ -54,27 +54,37 @@ def summarize_search_stats(parts: "Iterable[SearchStats]") -> dict:
     :func:`merge_search_stats` this never mutates its inputs and reports
     *across* queries rather than across one query's workers.
     """
-    queries = timed_out = 0
+    queries = timed_out = partial_answers = 0
     series_served = lower_bounds = exact_distances = leaves_visited = 0
+    shards_total = shards_answered = 0
     total_time = 0.0
     for part in parts:
         queries += 1
         timed_out += int(part.timed_out)
+        partial_answers += int(part.partial)
         series_served += part.num_series
         lower_bounds += part.series_lower_bounds
         exact_distances += part.exact_distances
         leaves_visited += part.leaves_visited
+        shards_total += part.shards_total
+        shards_answered += part.shards_answered
         total_time += part.total_time
     return {
         "queries": queries,
         "timed_out": timed_out,
+        "partial_answers": partial_answers,
         "series_served": series_served,
         "series_lower_bounds": lower_bounds,
         "exact_distances": exact_distances,
         "leaves_visited": leaves_visited,
+        "shards_total": shards_total,
+        "shards_answered": shards_answered,
         "engine_time_s": total_time,
         "pruning_ratio": (1.0 - exact_distances / series_served
                           if series_served else 0.0),
+        # Coverage over the scatters actually performed: 1.0 when every
+        # sharded query gathered all its shards (and when nothing is sharded).
+        "coverage": (shards_answered / shards_total if shards_total else 1.0),
     }
 
 

@@ -30,7 +30,12 @@ import threading
 import time
 from typing import Any, Callable, Sequence
 
-from repro.core.errors import InvalidParameterError, ShutdownError
+from repro.core.errors import (
+    DrainerError,
+    InvalidParameterError,
+    OverloadedError,
+    ShutdownError,
+)
 
 
 class _Pending:
@@ -62,29 +67,45 @@ class MicroBatchQueue:
         previous batch is processed).
     name:
         Thread name suffix, for debuggability.
+    max_pending:
+        Backlog bound: when this many items are already queued,
+        :meth:`submit` sheds the new one with a typed
+        :class:`~repro.core.errors.OverloadedError` instead of letting the
+        queue (and every caller's latency) grow without limit.  ``None``
+        (default) leaves the queue unbounded.
     """
 
     def __init__(self, process_batch: Callable[[list], Sequence],
                  max_batch: int = 64, max_wait_s: float = 0.002,
-                 name: str = "microbatch") -> None:
+                 name: str = "microbatch",
+                 max_pending: "int | None" = None) -> None:
         if max_batch < 1:
             raise InvalidParameterError(
                 f"max_batch must be >= 1, got {max_batch}")
         if max_wait_s < 0:
             raise InvalidParameterError(
                 f"max_wait_s must be >= 0, got {max_wait_s}")
+        if max_pending is not None and max_pending < 1:
+            raise InvalidParameterError(
+                f"max_pending must be >= 1 (or None), got {max_pending}")
         self._process_batch = process_batch
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_s)
+        self.max_pending = None if max_pending is None else int(max_pending)
+        self._name = f"repro-{name}"
         self._pending: list[_Pending] = []
+        #: The batch currently being processed; tracked so a drainer death
+        #: can fail its unfinished submitters too, not just the queued ones.
+        self._active: list[_Pending] = []
         self._condition = threading.Condition()
         self._closed = False
         # Telemetry for /stats: how well concurrency coalesces into batches.
         self._batches = 0
         self._batched_items = 0
         self._largest_batch = 0
-        self._drainer = threading.Thread(target=self._drain_forever,
-                                         name=f"repro-{name}", daemon=True)
+        self._restarts = 0
+        self._drainer = threading.Thread(target=self._drain_guarded,
+                                         name=self._name, daemon=True)
         self._drainer.start()
 
     # -------------------------------------------------------------- client
@@ -103,6 +124,11 @@ class MicroBatchQueue:
                 raise ShutdownError(
                     "the micro-batch queue is closed; the server is "
                     "shutting down")
+            if self.max_pending is not None \
+                    and len(self._pending) >= self.max_pending:
+                raise OverloadedError(
+                    f"the batch queue is full ({len(self._pending)} pending, "
+                    f"bound {self.max_pending}); retry shortly")
             self._pending.append(pending)
             self._condition.notify_all()
         if not pending.event.wait(timeout):
@@ -122,16 +148,26 @@ class MicroBatchQueue:
         self._drainer.join(timeout)
 
     @property
+    def pending_depth(self) -> int:
+        """Items currently queued (the load-shedding signal)."""
+        with self._condition:
+            return len(self._pending)
+
+    @property
     def stats(self) -> dict:
         """Coalescing counters: batches served, items, mean/largest batch."""
         with self._condition:
             batches, items = self._batches, self._batched_items
             largest = self._largest_batch
+            restarts = self._restarts
+            pending = len(self._pending)
         return {
             "batches": batches,
             "batched_queries": items,
             "mean_batch_size": (items / batches) if batches else 0.0,
             "largest_batch": largest,
+            "pending": pending,
+            "drainer_restarts": restarts,
         }
 
     # ------------------------------------------------------------- drainer
@@ -156,10 +192,51 @@ class MicroBatchQueue:
                     self._condition.wait(remaining)
             batch = self._pending[: self.max_batch]
             del self._pending[: self.max_batch]
+            self._active = batch
             self._batches += 1
             self._batched_items += len(batch)
             self._largest_batch = max(self._largest_batch, len(batch))
         return batch
+
+    def _drain_guarded(self) -> None:
+        """Run the drain loop under a watchdog.
+
+        The per-batch handler below already contains processor failures, so
+        the loop itself should never raise — but if it does (a bug, an
+        injected fault, a ``MemoryError`` between statements), the queue must
+        not silently wedge with submitters blocked forever.  The watchdog
+        fails every pending item with a typed
+        :class:`~repro.core.errors.DrainerError`, counts the death in
+        ``stats()['drainer_restarts']``, and starts a fresh drainer so the
+        queue keeps serving.
+        """
+        try:
+            self._drain_forever()
+        except BaseException as error:  # noqa: BLE001 — watchdog boundary
+            self._on_drainer_death(error)
+
+    def _on_drainer_death(self, error: BaseException) -> None:
+        failure = DrainerError(
+            f"the batch drainer died ({type(error).__name__}: {error}); "
+            f"pending requests were failed and the drainer restarted")
+        failure.__cause__ = error
+        with self._condition:
+            # The in-flight batch first (its items already left _pending; any
+            # member whose event is set got its outcome before the death),
+            # then everything still queued.
+            doomed = [pending for pending in self._active
+                      if not pending.event.is_set()]
+            doomed.extend(self._pending)
+            self._active = []
+            self._pending = []
+            self._restarts += 1
+            if not self._closed:
+                self._drainer = threading.Thread(target=self._drain_guarded,
+                                                 name=self._name, daemon=True)
+                self._drainer.start()
+        for pending in doomed:
+            pending.outcome = failure
+            pending.event.set()
 
     def _drain_forever(self) -> None:
         while True:

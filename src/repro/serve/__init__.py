@@ -11,14 +11,21 @@ framework is required to reproduce the serving results.
   read-only (mmap snapshot) and writable (:class:`~repro.index.dynamic.DynamicIndex`)
   indexes, per-index request coalescing, ``/stats`` aggregation, compaction
   with atomic generation swap and in-place snapshot re-save.
-* :class:`~repro.serve.routes.IndexServer` — the threaded HTTP front end.
+* :class:`~repro.serve.routes.IndexServer` — the threaded HTTP front end,
+  with graceful shutdown (stop accepting, drain in-flight, close queues).
 * :class:`~repro.serve.batching.KnnBatcher` — coalesces concurrent ``/knn``
-  requests into shared :meth:`knn_batch` calls.
+  requests into shared :meth:`knn_batch` calls; a bounded backlog sheds
+  excess load with typed 503s carrying ``Retry-After``.
 * :mod:`repro.serve.errors` — the total typed-error → HTTP-status map.
+
+Sharded indexes (:class:`~repro.index.sharded.ShardedIndex`) are first-class:
+:meth:`~repro.serve.app.SearchApp.load_sharded` serves one, ``/healthz``
+flips to ``"degraded"`` (still 200) while shards are quarantined, and
+``/stats`` carries coverage counters.
 """
 
 from repro.serve.app import SearchApp, ServedIndex
-from repro.serve.batching import KnnBatcher
+from repro.serve.batching import KnnBatcher, engine_series_length
 from repro.serve.config import ServeConfig
 from repro.serve.errors import STATUS_MAP, error_payload, status_for
 from repro.serve.routes import IndexServer
@@ -30,6 +37,7 @@ __all__ = [
     "SearchApp",
     "ServeConfig",
     "ServedIndex",
+    "engine_series_length",
     "error_payload",
     "status_for",
 ]

@@ -41,8 +41,9 @@ from repro.index.search import (
     validated_count,
     validated_query,
 )
+from repro.index.sharded import ShardedIndex
 from repro.index.stats import summarize_search_stats
-from repro.serve.batching import KnnBatcher, engine_tree
+from repro.serve.batching import KnnBatcher, engine_series_length, engine_tree
 from repro.serve.config import ServeConfig
 
 
@@ -54,9 +55,9 @@ class _StatsAccumulator:
     server would otherwise grow without bound).
     """
 
-    _COUNTERS = ("queries", "timed_out", "series_served",
+    _COUNTERS = ("queries", "timed_out", "partial_answers", "series_served",
                  "series_lower_bounds", "exact_distances", "leaves_visited",
-                 "engine_time_s")
+                 "shards_total", "shards_answered", "engine_time_s")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -75,6 +76,9 @@ class _StatsAccumulator:
         served = totals["series_served"]
         totals["pruning_ratio"] = (
             1.0 - totals["exact_distances"] / served if served else 0.0)
+        totals["coverage"] = (
+            totals["shards_answered"] / totals["shards_total"]
+            if totals["shards_total"] else 1.0)
         return totals
 
 
@@ -87,7 +91,12 @@ class ServedIndex:
         self.engine = engine
         self.path = path
         self.batcher = batcher
-        self.read_only = not isinstance(engine, DynamicIndex)
+        if isinstance(engine, DynamicIndex):
+            self.read_only = False
+        elif isinstance(engine, ShardedIndex):
+            self.read_only = not engine.writable
+        else:
+            self.read_only = True
         #: Monotonic serving generation; bumped by every successful compact.
         self.generation = 1
         self.search_stats = _StatsAccumulator()
@@ -96,24 +105,39 @@ class ServedIndex:
     def index_type(self) -> str:
         if isinstance(self.engine, DynamicIndex):
             return f"dynamic[{self.engine.index_type}]"
+        if isinstance(self.engine, ShardedIndex):
+            return (f"sharded[{self.engine.index_type}]"
+                    f"x{self.engine.num_shards}")
         return type(self.engine).__name__.removesuffix("Index").lower()
 
     @property
     def num_series(self) -> int:
-        if isinstance(self.engine, DynamicIndex):
+        if isinstance(self.engine, (DynamicIndex, ShardedIndex)):
             return self.engine.num_surviving
         return engine_tree(self.engine).num_series
 
     def describe(self) -> dict:
-        return {
+        info = {
             "name": self.name,
             "type": self.index_type,
             "num_series": int(self.num_series),
-            "series_length": int(engine_tree(self.engine).dataset.series_length),
+            "series_length": int(engine_series_length(self.engine)),
             "read_only": self.read_only,
             "generation": self.generation,
             "batching": self.batcher is not None,
         }
+        if isinstance(self.engine, ShardedIndex):
+            health = self.engine.health_report()
+            info["shards"] = {
+                "total": health["shards_total"],
+                "quarantined": health["quarantined"],
+                "states": [entry["state"] for entry in health["shards"]],
+                "quarantine_trips": sum(entry["quarantine_trips"]
+                                        for entry in health["shards"]),
+                "readmits": sum(entry["readmits"]
+                                for entry in health["shards"]),
+            }
+        return info
 
 
 class SearchApp:
@@ -155,7 +179,8 @@ class SearchApp:
                 num_workers=self.config.num_workers,
                 max_batch=self.config.batch_max_size,
                 max_wait_s=self.config.batch_max_wait_s,
-                name=f"knn-{name}")
+                name=f"knn-{name}",
+                max_pending=self.config.max_pending)
         with self._registry_lock:
             previous = self._indexes.get(name)
             self._indexes[name] = entry
@@ -184,6 +209,17 @@ class SearchApp:
         return self.add_index(name, load_index(path, mmap=mmap, verify=verify),
                               path=path)
 
+    def load_sharded(self, name: str, path, **options) -> ServedIndex:
+        """Load a sharded index directory and serve it under ``name``.
+
+        ``options`` reach :meth:`~repro.index.sharded.ShardedIndex.load`
+        unchanged (``degraded`` policy, retry/health policies, ``writable``,
+        ``verify``, ...).  The entry is writable whenever the engine is, and
+        its per-shard health shows up in ``/healthz`` and ``/indexes``.
+        """
+        engine = ShardedIndex.load(path, **options)
+        return self.add_index(name, engine, path=path)
+
     def _entry(self, name: str) -> ServedIndex:
         with self._registry_lock:
             entry = self._indexes.get(name)
@@ -210,9 +246,28 @@ class SearchApp:
         return {"indexes": [entry.describe() for entry in entries]}
 
     def healthz(self) -> dict:
+        """Liveness plus shard health.
+
+        Stays exactly ``{"status": "ok", "indexes": n}`` while every served
+        index is fully healthy.  When a sharded index has quarantined shards
+        the status flips to ``"degraded"`` and a ``shards`` section carries
+        each degraded index's per-shard states — still HTTP 200, because a
+        degraded server keeps answering (with ``partial`` results) and a
+        load balancer should not eject it for a recoverable shard fault.
+        """
         with self._registry_lock:
-            count = len(self._indexes)
-        return {"status": "ok", "indexes": count}
+            entries = list(self._indexes.values())
+        payload = {"status": "ok", "indexes": len(entries)}
+        degraded = {}
+        for entry in entries:
+            if isinstance(entry.engine, ShardedIndex):
+                health = entry.engine.health_report()
+                if health["status"] != "ok":
+                    degraded[entry.name] = health
+        if degraded:
+            payload["status"] = "degraded"
+            payload["shards"] = degraded
+        return payload
 
     def stats(self) -> dict:
         """Aggregated serving statistics, per index.
@@ -224,17 +279,23 @@ class SearchApp:
         """
         with self._registry_lock:
             entries = list(self._indexes.values())
-        return {
-            "indexes": {
-                entry.name: {
-                    "generation": entry.generation,
-                    "search": entry.search_stats.report(),
-                    "batching": (entry.batcher.stats
-                                 if entry.batcher is not None else None),
-                }
-                for entry in entries
+        payload = {}
+        for entry in entries:
+            report = {
+                "generation": entry.generation,
+                "search": entry.search_stats.report(),
+                "batching": (entry.batcher.stats
+                             if entry.batcher is not None else None),
             }
-        }
+            if isinstance(entry.engine, ShardedIndex):
+                health = entry.engine.health_report()
+                report["shards"] = {
+                    "total": health["shards_total"],
+                    "quarantined": health["quarantined"],
+                    "states": [s["state"] for s in health["shards"]],
+                }
+            payload[entry.name] = report
+        return {"indexes": payload}
 
     def knn(self, name: str, query, k: int = 1,
             timeout_s: "float | None" = None) -> dict:
@@ -254,8 +315,7 @@ class SearchApp:
             raise SearchError(
                 f"k={k} exceeds this server's limit max_k={self.config.max_k}")
         timeout_s = self.config.clamp_timeout(timeout_s)
-        query = validated_query(
-            query, engine_tree(entry.engine).dataset.series_length)
+        query = validated_query(query, engine_series_length(entry.engine))
         if entry.batcher is not None:
             result = entry.batcher.submit(query, k, timeout_s)
         else:
@@ -268,7 +328,7 @@ class SearchApp:
     @staticmethod
     def _result_payload(entry: ServedIndex, k: int,
                         result: SearchResult) -> dict:
-        return {
+        payload = {
             "index": entry.name,
             "generation": entry.generation,
             "k": k,
@@ -276,6 +336,10 @@ class SearchApp:
             "distances": [float(d) for d in result.distances],
             "timed_out": bool(result.stats.timed_out),
         }
+        if result.stats.shards_total:
+            payload["partial"] = bool(result.stats.partial)
+            payload["coverage"] = float(result.stats.coverage)
+        return payload
 
     def insert(self, name: str, series) -> dict:
         """Buffer one series (1-D) or a batch (2-D) into a writable index."""
@@ -286,7 +350,8 @@ class SearchApp:
             "generation": entry.generation,
             "ids": [int(row) for row in ids],
             "num_surviving": int(entry.engine.num_surviving),
-            "needs_compaction": bool(entry.engine.needs_compaction),
+            "needs_compaction": bool(
+                getattr(entry.engine, "needs_compaction", False)),
         }
 
     def delete(self, name: str, row) -> dict:
@@ -304,7 +369,8 @@ class SearchApp:
             "generation": entry.generation,
             "deleted": row,
             "num_surviving": int(entry.engine.num_surviving),
-            "needs_compaction": bool(entry.engine.needs_compaction),
+            "needs_compaction": bool(
+                getattr(entry.engine, "needs_compaction", False)),
         }
 
     def compact(self, name: str) -> dict:
@@ -319,18 +385,31 @@ class SearchApp:
         inodes outlive the unlink).
         """
         entry = self._writable(name)
-        mapping = entry.engine.compact(num_workers=self.config.num_workers)
+        outcome = entry.engine.compact(num_workers=self.config.num_workers)
         entry.generation += 1
-        if entry.path is not None:
+        sharded = isinstance(entry.engine, ShardedIndex)
+        if sharded:
+            # The sharded engine persists itself (per-shard snapshots plus
+            # the shard manifest live under its own directory).
+            entry.engine.save()
+            dropped = int(sum(outcome.values()))
+            remapped = int(entry.engine.num_surviving) + dropped
+        elif entry.path is not None:
             entry.engine.save(entry.path)
-        return {
+        if not sharded:
+            remapped = int(outcome.shape[0])
+            dropped = int((outcome < 0).sum())
+        payload = {
             "index": name,
             "generation": entry.generation,
             "num_surviving": int(entry.engine.num_surviving),
-            "remapped_rows": int(mapping.shape[0]),
-            "dropped_rows": int((mapping < 0).sum()),
-            "saved": entry.path is not None,
+            "remapped_rows": remapped,
+            "dropped_rows": dropped,
+            "saved": sharded or entry.path is not None,
         }
+        if sharded:
+            payload["shards_compacted"] = len(outcome)
+        return payload
 
     # ------------------------------------------------------------ lifecycle
 

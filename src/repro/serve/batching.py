@@ -30,6 +30,19 @@ def engine_tree(engine):
     return getattr(engine, "tree", engine)
 
 
+def engine_series_length(engine) -> int:
+    """The series length an engine answers over, tree-backed or sharded.
+
+    A :class:`~repro.index.sharded.ShardedIndex` has no single ``tree`` (its
+    shards load lazily), so it exposes ``series_length`` directly; everything
+    else resolves through its served tree's dataset.
+    """
+    length = getattr(engine, "series_length", None)
+    if length is not None:
+        return int(length)
+    return int(engine_tree(engine).dataset.series_length)
+
+
 class KnnBatcher:
     """Coalesce concurrent k-NN requests into shared ``knn_batch`` calls.
 
@@ -43,17 +56,27 @@ class KnnBatcher:
     num_workers:
         Worker threads handed to every ``knn_batch`` call (``None`` = the
         ``REPRO_NUM_WORKERS`` process default).
-    max_batch / max_wait_s / name:
-        Forwarded to :class:`~repro.parallel.batching.MicroBatchQueue`.
+    max_batch / max_wait_s / name / max_pending:
+        Forwarded to :class:`~repro.parallel.batching.MicroBatchQueue`
+        (``max_pending`` bounds the backlog: beyond it ``submit`` sheds the
+        request with a typed
+        :class:`~repro.core.errors.OverloadedError`).
     """
 
     def __init__(self, get_engine: Callable[[], Any], *,
                  num_workers: "int | None" = None, max_batch: int = 64,
-                 max_wait_s: float = 0.002, name: str = "knn") -> None:
+                 max_wait_s: float = 0.002, name: str = "knn",
+                 max_pending: "int | None" = None) -> None:
         self._get_engine = get_engine
         self._num_workers = num_workers
         self._queue = MicroBatchQueue(self._process, max_batch=max_batch,
-                                      max_wait_s=max_wait_s, name=name)
+                                      max_wait_s=max_wait_s, name=name,
+                                      max_pending=max_pending)
+
+    @property
+    def pending_depth(self) -> int:
+        """Requests currently queued behind the drainer."""
+        return self._queue.pending_depth
 
     def submit(self, query: np.ndarray, k: int, timeout_s: "float | None",
                wait_timeout: "float | None" = None):
@@ -83,7 +106,7 @@ class KnnBatcher:
     def _process(self, items: list) -> list:
         """Answer one drained batch: validate per item, group, search per group."""
         engine = self._get_engine()  # one generation serves the whole batch
-        expected_length = engine_tree(engine).dataset.series_length
+        expected_length = engine_series_length(engine)
         outcomes: list = [None] * len(items)
         groups: "dict[tuple, list[tuple[int, np.ndarray]]]" = {}
         for position, (query, k, timeout_s) in enumerate(items):

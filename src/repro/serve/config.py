@@ -43,6 +43,20 @@ class ServeConfig:
     request_body_limit:
         Largest accepted HTTP request body, in bytes (oversized requests get
         a typed 400 rather than an allocation).
+    max_pending:
+        Load-shedding bound on each index's micro-batch backlog: when this
+        many ``/knn`` requests are already queued, new ones are rejected with
+        a typed 503 (:class:`~repro.core.errors.OverloadedError`, carrying a
+        ``Retry-After`` header) instead of growing everyone's latency without
+        limit.  ``None`` leaves the queue unbounded.
+    retry_after_s:
+        The ``Retry-After`` hint attached to shed (503) responses, in
+        seconds.
+    shutdown_drain_s:
+        Graceful-shutdown budget: after the server stops accepting
+        connections, how long :meth:`~repro.serve.routes.IndexServer.stop`
+        waits for in-flight requests (and the queued micro-batches behind
+        them) to finish before closing the queues regardless.
     """
 
     host: str = "127.0.0.1"
@@ -55,6 +69,9 @@ class ServeConfig:
     batch_max_wait_s: float = 0.002
     num_workers: "int | None" = None
     request_body_limit: int = field(default=16 * 1024 * 1024)
+    max_pending: "int | None" = 256
+    retry_after_s: float = 1.0
+    shutdown_drain_s: float = 5.0
 
     def __post_init__(self) -> None:
         if self.max_k < 1:
@@ -77,6 +94,15 @@ class ServeConfig:
             raise InvalidParameterError(
                 f"request_body_limit must be >= 1024 bytes, "
                 f"got {self.request_body_limit}")
+        if self.max_pending is not None and self.max_pending < 1:
+            raise InvalidParameterError(
+                f"max_pending must be >= 1 (or None), got {self.max_pending}")
+        if not self.retry_after_s > 0:
+            raise InvalidParameterError(
+                f"retry_after_s must be positive, got {self.retry_after_s}")
+        if not self.shutdown_drain_s >= 0:
+            raise InvalidParameterError(
+                f"shutdown_drain_s must be >= 0, got {self.shutdown_drain_s}")
 
     def clamp_timeout(self, timeout_s: "float | None") -> "float | None":
         """Resolve a request's budget: default when absent, ceiling applied.

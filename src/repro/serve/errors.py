@@ -14,12 +14,16 @@ from __future__ import annotations
 from repro.core.errors import (
     CorruptionError,
     DatasetError,
+    DrainerError,
     IndexError_,
     InvalidParameterError,
     NotFittedError,
+    OverloadedError,
+    PartialResultError,
     ReadOnlyIndexError,
     ReproError,
     SearchError,
+    ShardError,
     ShutdownError,
     UnknownIndexError,
     ValidationError,
@@ -40,8 +44,12 @@ STATUS_MAP: "tuple[tuple[type[ReproError], int], ...]" = (
     (NotFittedError, 409),        # component not ready to serve
     (CorruptionError, 500),       # stored data failed verification
     (WalError, 500),              # unreadable write-ahead log
+    (ShardError, 500),            # a shard failed after retries
+    (PartialResultError, 503),    # coverage below the degraded policy's floor
     (SearchError, 400),           # query cannot be answered as asked
     (IndexError_, 409),           # other index-state conflicts
+    (OverloadedError, 503),       # backlog bound hit: shed load, Retry-After
+    (DrainerError, 500),          # batch drainer died; queue restarted it
     (ShutdownError, 503),         # server is draining
     (ReproError, 500),            # any future library error: fail safe
 )

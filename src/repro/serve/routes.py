@@ -25,11 +25,12 @@ POST      ``/{index}/compact``       :meth:`~repro.serve.app.SearchApp.compact`
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import unquote, urlsplit
 
-from repro.core.errors import ReproError, ValidationError
+from repro.core.errors import OverloadedError, ReproError, ValidationError
 from repro.serve.app import SearchApp
 from repro.serve.errors import error_payload, status_for
 
@@ -60,17 +61,29 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         pass  # per-request stderr logging would swamp the query storm tests
 
-    def _respond(self, status: int, payload: dict) -> None:
+    def _respond(self, status: int, payload: dict,
+                 headers: "dict[str, str] | None" = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        # A draining server finishes the request it already accepted, then
+        # hangs up so the keep-alive thread can exit within the drain budget.
+        if getattr(self.server, "draining", False):
+            self.send_header("Connection", "close")
+            self.close_connection = True
         self.end_headers()
         self.wfile.write(body)
 
     def _respond_error(self, error: BaseException) -> None:
         if isinstance(error, ReproError):
-            self._respond(status_for(error), error_payload(error))
+            headers = None
+            if isinstance(error, OverloadedError):
+                retry_after = math.ceil(self.app.config.retry_after_s)
+                headers = {"Retry-After": str(max(1, retry_after))}
+            self._respond(status_for(error), error_payload(error), headers)
             return
         # Anything untyped is a server bug; report it as such but keep the
         # response shape uniform so clients never need a second parser.
@@ -112,6 +125,13 @@ class _Handler(BaseHTTPRequestHandler):
     # --------------------------------------------------------------- routes
 
     def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        self.server.request_started()
+        try:
+            self._handle_get()
+        finally:
+            self.server.request_finished()
+
+    def _handle_get(self) -> None:
         path = urlsplit(self.path).path
         try:
             if path == "/healthz":
@@ -127,6 +147,13 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond_error(error)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        self.server.request_started()
+        try:
+            self._handle_post()
+        finally:
+            self.server.request_finished()
+
+    def _handle_post(self) -> None:
         parts = [part for part in urlsplit(self.path).path.split("/") if part]
         if len(parts) != 2 or parts[1] not in _POST_ACTIONS:
             self._not_found(
@@ -151,6 +178,48 @@ class _Handler(BaseHTTPRequestHandler):
             self._respond_error(error)
 
 
+class _DrainingHTTPServer(ThreadingHTTPServer):
+    """Threaded server that counts its in-flight *requests* for shutdown.
+
+    The gauge covers individual requests, not connections: a keep-alive
+    thread idling between requests holds nothing in flight, so a drain does
+    not wait on clients that merely keep sockets open.  :meth:`wait_idle`
+    lets :meth:`IndexServer.stop` block — bounded — until every request
+    already being handled has been answered before the micro-batch queues
+    close underneath it.
+    """
+
+    daemon_threads = True
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.draining = False
+        self._in_flight = 0
+        self._in_flight_lock = threading.Lock()
+        self._idle = threading.Event()
+        self._idle.set()
+
+    def request_started(self) -> None:
+        with self._in_flight_lock:
+            self._in_flight += 1
+            self._idle.clear()
+
+    def request_finished(self) -> None:
+        with self._in_flight_lock:
+            self._in_flight -= 1
+            if self._in_flight == 0:
+                self._idle.set()
+
+    @property
+    def in_flight(self) -> int:
+        with self._in_flight_lock:
+            return self._in_flight
+
+    def wait_idle(self, timeout: "float | None") -> bool:
+        """Block until no request is in flight; ``False`` on timeout."""
+        return self._idle.wait(timeout)
+
+
 class IndexServer:
     """A threaded HTTP server over one :class:`~repro.serve.app.SearchApp`.
 
@@ -167,9 +236,8 @@ class IndexServer:
 
     def __init__(self, app: SearchApp) -> None:
         self.app = app
-        self._httpd = ThreadingHTTPServer(
+        self._httpd = _DrainingHTTPServer(
             (app.config.host, app.config.port), _Handler)
-        self._httpd.daemon_threads = True
         self._httpd.app = app
         self._thread: "threading.Thread | None" = None
 
@@ -194,12 +262,24 @@ class IndexServer:
         return self
 
     def stop(self) -> None:
-        """Graceful shutdown: stop accepting, join the acceptor, drain queues."""
+        """Graceful shutdown: stop accepting, drain in-flight, close queues.
+
+        Order matters: (1) mark the server draining so keep-alive handlers
+        hang up after their current response, (2) stop the acceptor and close
+        the listening socket — new connections are refused from here on,
+        (3) wait up to :attr:`ServeConfig.shutdown_drain_s` for every request
+        already accepted (including those blocked inside a micro-batch queue)
+        to finish, (4) close the app, which drains whatever is still queued
+        and then rejects stragglers with a typed
+        :class:`~repro.core.errors.ShutdownError`.
+        """
+        self._httpd.draining = True
         if self._thread is not None:
             self._httpd.shutdown()
             self._thread.join(timeout=10.0)
             self._thread = None
         self._httpd.server_close()
+        self._httpd.wait_idle(self.app.config.shutdown_drain_s)
         self.app.close()
 
     def __enter__(self) -> "IndexServer":

@@ -12,7 +12,10 @@ either the old or the new complete state, never a torn mix.
 
 from __future__ import annotations
 
+import time
+
 from repro.core import fsio
+from repro.core.errors import CorruptionError
 
 
 class SimulatedCrash(BaseException):
@@ -74,3 +77,58 @@ class FaultInjector:
             return action()
         finally:
             fsio.set_hook(previous)
+
+
+class FlakyShard:
+    """Fault-injecting proxy around one shard's engine.
+
+    Installed in place of a :class:`ShardedIndex` shard's loaded engine
+    (``sharded._shards[i].engine = FlakyShard(engine, ...)``); every
+    attribute the scatter path touches forwards to the real engine, while
+    the query entry points inject one of three failure shapes:
+
+    * ``fail_times=N`` — the next N ``knn``/``knn_batch`` calls raise
+      ``error_factory()`` (default: a transient ``RuntimeError``), then the
+      shard answers normally: the fail-N-times-then-succeed retry scenario.
+      Pass ``error_factory=lambda: CorruptionError(...)`` (see
+      :func:`corruption_error`) for the persistent-failure classification.
+    * ``hang_s=S`` — every call sleeps ``S`` seconds *before* answering,
+      for deadline-abandonment scenarios (pick ``S`` past the query
+      budget plus gather grace).
+
+    ``calls`` counts query attempts observed, so tests can assert how many
+    retries actually reached the shard.
+    """
+
+    def __init__(self, engine, *, fail_times: int = 0, error_factory=None,
+                 hang_s: float = 0.0) -> None:
+        self._engine = engine
+        self.fail_times = fail_times
+        self.error_factory = error_factory or (
+            lambda: RuntimeError("injected transient shard fault"))
+        self.hang_s = hang_s
+        self.calls = 0
+
+    def __getattr__(self, name):
+        return getattr(self._engine, name)
+
+    def _inject(self) -> None:
+        self.calls += 1
+        if self.hang_s:
+            time.sleep(self.hang_s)
+        if self.fail_times > 0:
+            self.fail_times -= 1
+            raise self.error_factory()
+
+    def knn(self, *args, **kwargs):
+        self._inject()
+        return self._engine.knn(*args, **kwargs)
+
+    def knn_batch(self, *args, **kwargs):
+        self._inject()
+        return self._engine.knn_batch(*args, **kwargs)
+
+
+def corruption_error() -> CorruptionError:
+    """An ``error_factory`` for :class:`FlakyShard`'s persistent-failure mode."""
+    return CorruptionError("injected shard corruption")

@@ -14,11 +14,14 @@ The durability contract under test (see :mod:`repro.index.wal`):
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core import fsio
 from repro.core.errors import (
     CorruptionError,
     InvalidParameterError,
@@ -329,6 +332,182 @@ class TestWriteAheadCrashSweep:
             assert _signature(recovered, queries) == expected, (
                 f"crash point {point} during save() lost acked writes")
             recovered.close()
+
+
+# ------------------------------------------------- fsync policy: power loss
+
+
+class _DurabilityWatermark:
+    """fsio hook tracking, per file, the byte length covered by the last fsync.
+
+    ``append_bytes`` flushes to the page cache (survives a *process* crash);
+    only an fsync makes bytes survive a *power* failure.  At the moment the
+    ``fsync`` effect fires, everything previously appended is in the file, so
+    its current size is exactly the durable watermark — the prefix a power
+    cut at any later instant is guaranteed to preserve.
+    """
+
+    def __init__(self) -> None:
+        self.durable: "dict[str, int]" = {}
+
+    def __call__(self, operation: str, path: str) -> None:
+        if operation == "fsync":
+            try:
+                self.durable[path] = os.path.getsize(path)
+            except OSError:
+                self.durable[path] = 0
+
+
+class TestBatchFsyncPowerLoss:
+    """Pin the ``fsync="batch"`` durability trade: a record covered by the
+    last fsync must survive a power cut; the un-fsynced acked tail *may* be
+    lost — but only ever as a clean suffix, never a torn mix."""
+
+    RECORD_COUNT = 10
+
+    def _run_appends(self, directory, fsync: str, batch_bytes: int):
+        """Append a fixed insert/delete script, recording after every ack
+        ``(lsn, durable_bytes, file_bytes)`` — the durable fsync watermark
+        and the segment length at that instant."""
+        watermark = _DurabilityWatermark()
+        previous = fsio.set_hook(watermark)
+        try:
+            checkpoints = []
+            with WriteAheadLog(directory, fsync=fsync,
+                               batch_bytes=batch_bytes) as wal:
+                (segment,) = directory.glob("wal-*.log")
+                for position in range(self.RECORD_COUNT):
+                    if position % 3 == 2:
+                        wal.append_delete(position)
+                    else:
+                        wal.append_insert(_rows(2, seed=70 + position))
+                    checkpoints.append((wal.last_lsn,
+                                        watermark.durable.get(str(segment), 0),
+                                        segment.stat().st_size))
+        finally:
+            fsio.set_hook(previous)
+        return segment, checkpoints
+
+    @staticmethod
+    def _survived_lsn(checkpoints, durable_bytes: int) -> int:
+        """Highest LSN whose record lies entirely inside the durable prefix."""
+        return max((lsn for lsn, _durable, file_bytes in checkpoints
+                    if file_bytes <= durable_bytes), default=0)
+
+    def test_power_cut_sweep_loses_only_the_unsynced_tail(self, tmp_path):
+        directory = tmp_path / "wal"
+        # batch_bytes below one insert record: inserts cross the threshold
+        # and fsync, the small delete records ride unsynced — both sides of
+        # the policy are exercised in one script.
+        segment, checkpoints = self._run_appends(directory, "batch",
+                                                 batch_bytes=400)
+        original = segment.read_bytes()
+        assert len({durable for _, durable, _ in checkpoints}) > 2, \
+            "the script never crossed an fsync threshold"
+
+        saw_tail_loss = saw_full_coverage = False
+        for acked_lsn, durable_bytes, _file_bytes in checkpoints:
+            # The power cut at this checkpoint: everything past the last
+            # fsync is gone; the log never sees a close() (close would sync).
+            segment.write_bytes(original[:durable_bytes])
+            survivors = [record.lsn for record in read_records(directory)]
+            durable_lsn = self._survived_lsn(checkpoints, durable_bytes)
+            # Exactly the fsync-covered prefix survives: every record at or
+            # below the watermark (acked-durable must survive), none above it
+            # (our cut deletes the whole un-fsynced tail), no torn mix.
+            assert survivors == list(range(1, durable_lsn + 1))
+            assert durable_lsn <= acked_lsn
+            saw_tail_loss |= durable_lsn < acked_lsn
+            saw_full_coverage |= durable_lsn == acked_lsn
+            segment.write_bytes(original)  # restore for the next cut
+        # The sweep must exercise both regimes or it proves nothing.
+        assert saw_tail_loss, "no checkpoint had an un-fsynced acked tail"
+        assert saw_full_coverage, "no checkpoint was fully fsynced"
+
+    def test_always_policy_never_loses_an_acked_record(self, tmp_path):
+        """The contrast case: under ``fsync="always"`` every ack *is* the
+        watermark, so the same power cut loses nothing."""
+        directory = tmp_path / "wal"
+        segment, checkpoints = self._run_appends(directory, "always",
+                                                 batch_bytes=1 << 20)
+        original = segment.read_bytes()
+        for acked_lsn, durable_bytes, file_bytes in checkpoints:
+            assert durable_bytes == file_bytes  # fsynced before the ack
+            segment.write_bytes(original[:durable_bytes])
+            survivors = [record.lsn for record in read_records(directory)]
+            assert survivors == list(range(1, acked_lsn + 1)), (
+                f"fsync=always lost an acked record at lsn {acked_lsn}")
+            segment.write_bytes(original)
+
+    def test_compact_record_is_durable_even_under_batch(self, tmp_path):
+        """``append_compact`` force-syncs regardless of policy: a power cut
+        right after the ack can never lose the compaction barrier — or any
+        record before it."""
+        directory = tmp_path / "wal"
+        watermark = _DurabilityWatermark()
+        previous = fsio.set_hook(watermark)
+        try:
+            with WriteAheadLog(directory, fsync="batch",
+                               batch_bytes=1 << 20) as wal:
+                (segment,) = directory.glob("wal-*.log")
+                wal.append_insert(_rows(2, seed=80))
+                wal.append_delete(1)
+                compact_lsn = wal.append_compact()
+                durable_bytes = watermark.durable[str(segment)]
+                assert durable_bytes == segment.stat().st_size
+        finally:
+            fsio.set_hook(previous)
+        original = segment.read_bytes()
+        segment.write_bytes(original[:durable_bytes])
+        survivors = [record.lsn for record in read_records(directory)]
+        assert survivors == [1, 2, compact_lsn], (
+            "the forced compact fsync must cover every earlier record too")
+
+    def test_recovery_from_power_cut_is_a_clean_prefix(self, tmp_path,
+                                                       small_rows):
+        """End to end through ``DynamicIndex.recover``: cut the un-fsynced
+        tail of a batch-policy log and recovery still lands on a clean
+        prefix of the acked operations, bit-identical to replaying them."""
+        queries = _rows(3, seed=91)
+        wal_dir = tmp_path / "wal"
+        dynamic = _build_dynamic(small_rows, wal_dir=wal_dir,
+                                 wal_fsync="batch")
+        dynamic.save(tmp_path / "snap")
+        # Shrink the batch threshold so the short script below straddles
+        # several fsync boundaries and ends on an un-fsynced tail.
+        dynamic._wal._batch_bytes = 400
+        segment = sorted(wal_dir.glob("wal-*.log"))[-1]
+        watermark = _DurabilityWatermark()
+        previous = fsio.set_hook(watermark)
+        try:
+            extra = _rows(6, seed=92)
+            for position in range(len(extra)):
+                dynamic.insert(extra[position])
+            dynamic.delete(1)
+            durable_bytes = watermark.durable.get(str(segment), 0)
+            # Abandon without close(): close would fsync the tail away.
+            raw = segment.read_bytes()
+        finally:
+            fsio.set_hook(previous)
+        assert 0 < durable_bytes < len(raw), \
+            "need a durable prefix and an un-fsynced tail for this cut"
+        segment.write_bytes(raw[:durable_bytes])
+
+        recovered = DynamicIndex.recover(tmp_path / "snap", wal_dir)
+        surviving = read_records(wal_dir)
+        # The survivors are a proper, clean prefix of the 7 acked operations.
+        assert [record.lsn for record in surviving] == \
+            list(range(1, len(surviving) + 1))
+        assert 0 < len(surviving) < 7
+        replayed = _build_dynamic(small_rows)
+        for record in surviving:
+            if record.op == OP_INSERT:
+                replayed.insert_batch(record.values)
+            else:
+                replayed.delete(record.row)
+        assert _signature(recovered, queries) == _signature(replayed, queries)
+        recovered.close()
+        replayed.close()
 
 
 # ------------------------------------------------------- replay bit-identity

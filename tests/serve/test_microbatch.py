@@ -9,7 +9,9 @@ import numpy as np
 import pytest
 
 from repro.core.errors import (
+    DrainerError,
     InvalidParameterError,
+    OverloadedError,
     SearchError,
     ShutdownError,
     ValidationError,
@@ -121,6 +123,132 @@ class TestMicroBatchQueue:
             MicroBatchQueue(lambda items: items, max_batch=0)
         with pytest.raises(InvalidParameterError):
             MicroBatchQueue(lambda items: items, max_wait_s=-1.0)
+        with pytest.raises(InvalidParameterError):
+            MicroBatchQueue(lambda items: items, max_pending=0)
+
+
+class _PoisonedOutcomes:
+    """A Sequence whose *iteration* raises: passes the in-``try`` length
+    check, then kills the drain loop in its unprotected delivery phase —
+    the exact shape of a drainer-level bug the watchdog exists for."""
+
+    def __init__(self, count: int) -> None:
+        self._count = count
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self):
+        raise MemoryError("injected drainer death")
+
+
+class TestDrainerWatchdog:
+    def test_drainer_death_fails_pending_and_restarts(self):
+        """Regression: a drainer-level failure must not wedge the queue.
+
+        Submitters whose items were mid-load when the drainer died get a
+        typed :class:`DrainerError` (never a silent hang), the death is
+        counted, and a fresh drainer serves the next submission.
+        """
+        state = {"deaths": 1}
+
+        def process(items):
+            if state["deaths"]:
+                state["deaths"] -= 1
+                return _PoisonedOutcomes(len(items))
+            return [item * 2 for item in items]
+
+        queue = MicroBatchQueue(process, max_wait_s=0.0)
+        try:
+            with pytest.raises(DrainerError, match="drainer died") as excinfo:
+                queue.submit(1, timeout=10)
+            assert isinstance(excinfo.value.__cause__, MemoryError)
+            # The restarted drainer keeps serving the same queue.
+            assert queue.submit(21, timeout=10) == 42
+            stats = queue.stats
+            assert stats["drainer_restarts"] == 1
+            assert stats["pending"] == 0
+        finally:
+            queue.close()
+
+    def test_death_under_concurrency_fails_every_waiter(self):
+        release = threading.Event()
+
+        def process(items):
+            release.wait(10)
+            return _PoisonedOutcomes(len(items))
+
+        queue = MicroBatchQueue(process, max_wait_s=0.0)
+        try:
+            outcomes: list = [None] * 4
+
+            def ask(position):
+                try:
+                    outcomes[position] = queue.submit(position, timeout=10)
+                except Exception as error:  # noqa: BLE001 - captured
+                    outcomes[position] = error
+
+            threads = [threading.Thread(target=ask, args=(position,))
+                       for position in range(4)]
+            for thread in threads:
+                thread.start()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and queue.stats["batches"] == 0:
+                time.sleep(0.001)
+            release.set()
+            for thread in threads:
+                thread.join(10)
+            # Every submitter — in the dying batch or queued behind it — got
+            # a typed failure; nobody hung.
+            assert all(isinstance(outcome, DrainerError)
+                       for outcome in outcomes)
+        finally:
+            queue.close()
+
+    def test_close_after_death_stays_closed(self):
+        queue = MicroBatchQueue(lambda items: _PoisonedOutcomes(len(items)),
+                                max_wait_s=0.0)
+        with pytest.raises(DrainerError):
+            queue.submit(1, timeout=10)
+        queue.close()
+        with pytest.raises(ShutdownError):
+            queue.submit(2)
+
+
+class TestLoadShedding:
+    def test_backlog_beyond_max_pending_is_shed(self):
+        entered = threading.Event()
+        release = threading.Event()
+
+        def process(items):
+            entered.set()
+            release.wait(10)
+            return list(items)
+
+        queue = MicroBatchQueue(process, max_wait_s=0.0, max_pending=2)
+        try:
+            first = threading.Thread(target=lambda: queue.submit(0, timeout=30))
+            first.start()
+            assert entered.wait(10)  # the drainer is busy with item 0
+            parked = [threading.Thread(
+                target=lambda value=value: queue.submit(value, timeout=30))
+                for value in (1, 2)]
+            for thread in parked:
+                thread.start()
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline and queue.pending_depth < 2:
+                time.sleep(0.001)
+            assert queue.pending_depth == 2
+            with pytest.raises(OverloadedError, match="retry shortly"):
+                queue.submit(3)
+            release.set()
+            first.join(10)
+            for thread in parked:
+                thread.join(10)
+            # Draining the backlog restores capacity.
+            assert queue.submit(4, timeout=10) == 4
+        finally:
+            queue.close()
 
 
 class TestKnnBatcher:
