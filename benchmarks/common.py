@@ -12,14 +12,25 @@ queries per dataset the harness uses (defaults keep the whole suite at a few
 minutes on a laptop).  Absolute times are therefore not comparable with the
 paper's 100M-series server runs; the *relative* behaviour (who wins, by how
 much, where crossovers happen) is what the harness reproduces.
+
+Machine-readable output: ``--bench-json PATH`` (or the ``REPRO_BENCH_JSON``
+environment variable) writes every metric queued through
+:func:`record_result` as one JSON document, which is what the CI smoke jobs
+archive as ``BENCH_*.json`` artifacts.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
 
 #: Registry of (title, text) report blocks printed in the terminal summary.
 _REPORTS: list[tuple[str, str]] = []
+
+#: Registry of machine-readable per-benchmark metric dicts (--bench-json).
+_RESULTS: list[dict] = []
 
 
 def available_cores() -> int:
@@ -41,6 +52,49 @@ def report(title: str, text: str) -> None:
 
 def collected_reports() -> list[tuple[str, str]]:
     return list(_REPORTS)
+
+
+def record_result(name: str, **metrics) -> None:
+    """Queue one benchmark's machine-readable metrics for ``--bench-json``.
+
+    ``metrics`` values must be JSON-serializable scalars (numbers, strings,
+    booleans); each call becomes one entry in the written document's
+    ``results`` list.
+    """
+    _RESULTS.append({"benchmark": name, "metrics": dict(metrics)})
+
+
+def collected_results() -> list[dict]:
+    return list(_RESULTS)
+
+
+def write_json_results(path: str) -> None:
+    """Write every recorded result (plus run context) as one JSON document.
+
+    The document is self-describing — the scale knobs in effect and the
+    machine it ran on ride along — so a CI artifact can be compared across
+    runs without reconstructing the environment from job logs.
+    """
+    payload = {
+        "schema": "repro-bench/1",
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "platform": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+            "cores": available_cores(),
+        },
+        "scale": {
+            "num_series": bench_num_series(),
+            "num_queries": bench_num_queries(),
+            "leaf_size": bench_leaf_size(),
+            "num_workers_env": os.environ.get("REPRO_NUM_WORKERS"),
+        },
+        "results": collected_results(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def bench_num_series() -> int:

@@ -8,6 +8,7 @@ figures and use ``pytest-benchmark`` to time one representative operation each.
 
 from __future__ import annotations
 
+import os
 import sys
 
 import numpy as np
@@ -22,15 +23,29 @@ from common import (  # noqa: E402
     bench_num_queries,
     bench_num_series,
     collected_reports,
+    write_json_results,
 )
 
 from repro.datasets.registry import dataset_names, load_dataset  # noqa: E402
 from repro.evaluation.workloads import WorkloadRunner  # noqa: E402
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json", default=os.environ.get("REPRO_BENCH_JSON"),
+        metavar="PATH",
+        help="write machine-readable benchmark results to PATH as JSON "
+             "(defaults to $REPRO_BENCH_JSON when set)")
+
+
 def pytest_terminal_summary(terminalreporter, exitstatus, config):
     """Print every queued paper-style table after the benchmark run."""
-    del exitstatus, config
+    del exitstatus
+    json_path = config.getoption("--bench-json")
+    if json_path:
+        write_json_results(json_path)
+        terminalreporter.write_line(
+            f"benchmark JSON results written to {json_path}")
     reports = collected_reports()
     if not reports:
         return

@@ -60,6 +60,7 @@ from repro.index import (
     load_index,
     save_index,
 )
+from repro.obs import MetricsRegistry, SlowQueryLog, Trace, get_registry
 from repro.transforms import DFT, PAA, SAX, SFA, HierarchicalBins
 
 __version__ = "0.1.0"
@@ -74,6 +75,7 @@ __all__ = [
     "FlatL2Index",
     "HierarchicalBins",
     "MessiIndex",
+    "MetricsRegistry",
     "PAA",
     "PartialResultError",
     "SAX",
@@ -84,7 +86,9 @@ __all__ = [
     "SerialScan",
     "ShardError",
     "ShardedIndex",
+    "SlowQueryLog",
     "SofaIndex",
+    "Trace",
     "TreeIndex",
     "UcrSuiteScan",
     "ValidationError",
@@ -98,6 +102,7 @@ __all__ = [
     "euclidean",
     "evaluate_tlb",
     "generate_ucr_like_suite",
+    "get_registry",
     "high_frequency_names",
     "load_benchmark_suite",
     "load_dataset",

@@ -287,7 +287,23 @@ class BatchSearcher:
         An **empty batch** (shape ``(0, l)``) is answered with ``[]`` — a
         contractual no-op, validated like any other batch so malformed empty
         inputs still raise typed errors.
+
+        Every returned result carries the *batch's* wall time in
+        ``stats.wall_time_s``: the latency each caller of the batched call
+        actually observed (a micro-batched server request waits for its whole
+        batch), as opposed to the per-query share encoded in the timing
+        fields.
         """
+        wall_start = time.perf_counter()
+        results = self._knn_batch_timed(queries, k, num_workers, timeout_s)
+        wall_time = time.perf_counter() - wall_start
+        for result in results:
+            result.stats.wall_time_s = wall_time
+        return results
+
+    def _knn_batch_timed(self, queries: np.ndarray, k: int,
+                         num_workers: "int | None",
+                         timeout_s: "float | None") -> list[SearchResult]:
         k = validated_count(k)
         deadline = resolve_deadline(timeout_s)
         num_workers = resolve_num_workers(num_workers)

@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import operator
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -74,7 +75,19 @@ from repro.index.sofa import SofaIndex
 from repro.index.tree import TreeIndex
 from repro.index.wal import OP_COMPACT, OP_DELETE, OP_INSERT, WriteAheadLog
 from repro.index.wal import read_records as _read_wal_records
+from repro.obs.metrics import get_registry
 from repro.parallel.pool import BackgroundTask
+
+_REGISTRY = get_registry()
+_COMPACTIONS = _REGISTRY.counter(
+    "repro_compactions_total",
+    "Completed dynamic-index compactions (identity no-ops excluded).")
+_COMPACTION_SECONDS = _REGISTRY.histogram(
+    "repro_compaction_phase_seconds",
+    "Latency of dynamic-index compaction phases: concat (gathering "
+    "survivors), rebuild (the tree build), swap (generation swap + WAL "
+    "rotation).",
+    labelnames=("phase",))
 
 
 @dataclass(frozen=True)
@@ -345,6 +358,22 @@ class DynamicIndex:
         """Whether pending writes exceed ``compact_threshold``."""
         return self.delta_fraction >= self.compact_threshold
 
+    @property
+    def wal_depth(self) -> int:
+        """WAL records since the last checkpoint (0 without a WAL).
+
+        The replay debt a crash would incur right now; ``/healthz`` and the
+        ``repro_wal_depth`` gauge surface it per served index.
+        """
+        wal = self._wal
+        return wal.records_pending if wal is not None else 0
+
+    @property
+    def num_tombstones(self) -> int:
+        """Deleted-but-not-yet-compacted rows (base and delta together)."""
+        state = self._state
+        return state.base_dead + state.delta_dead
+
     def __len__(self) -> int:
         return self.num_surviving
 
@@ -468,7 +497,8 @@ class DynamicIndex:
     def knn(self, query: np.ndarray, k: int = 1,
             num_workers: "int | None" = None,
             timeout_s: "float | None" = None,
-            shared_best: "object | None" = None) -> SearchResult:
+            shared_best: "object | None" = None,
+            trace=None) -> SearchResult:
         """Exact k-NN over *tree ∪ delta − tombstones*.
 
         Bit-identical to a scratch rebuild on the surviving rows (answers are
@@ -478,12 +508,13 @@ class DynamicIndex:
         bit-identical for every worker count, mid-ingest included.
         ``timeout_s`` bounds the search: on expiry the best-so-far is
         finalized with ``stats.timed_out=True``.  ``shared_best`` couples the
-        search to an external (cross-shard) best-so-far; see
-        :meth:`~repro.index.search.ExactSearcher.knn`.
+        search to an external (cross-shard) best-so-far; ``trace`` records
+        phase spans (including the delta-fusion phase) without changing the
+        answer; see :meth:`~repro.index.search.ExactSearcher.knn`.
         """
         return self._state.searcher.knn(query, k=k, num_workers=num_workers,
                                         timeout_s=timeout_s,
-                                        shared_best=shared_best)
+                                        shared_best=shared_best, trace=trace)
 
     def gather_values(self, rows) -> np.ndarray:
         """Stack the served (normalized) values of global ``rows``.
@@ -599,15 +630,22 @@ class DynamicIndex:
             # replaying the record reproduces this very tree and the
             # renumbering every later record's row ids assume.
             self._wal.append_compact()
+        phase_start = time.perf_counter()
         values = np.concatenate(
             [np.asarray(state.tree.dataset.values)[surviving_base],
              state.delta_values.view[surviving_delta]], axis=0)
         base_dataset = state.tree.dataset
         dataset = Dataset(values, name=base_dataset.name, normalize=False,
                           metadata=dict(base_dataset.metadata), validate=False)
+        _COMPACTION_SECONDS.labels(phase="concat").observe(
+            time.perf_counter() - phase_start)
+        phase_start = time.perf_counter()
         tree = state.tree.clone_unbuilt()
         tree.build(dataset, num_workers=(self.num_workers if num_workers is None
                                          else num_workers))
+        _COMPACTION_SECONDS.labels(phase="rebuild").observe(
+            time.perf_counter() - phase_start)
+        phase_start = time.perf_counter()
         mapping[surviving_base] = np.arange(surviving_base.size)
         mapping[state.num_base + surviving_delta] = (
             surviving_base.size + np.arange(surviving_delta.size))
@@ -619,6 +657,9 @@ class DynamicIndex:
             # A segment never spans a generation swap; old segments stay
             # until the next durable snapshot checkpoints them.
             self._wal.rotate()
+        _COMPACTION_SECONDS.labels(phase="swap").observe(
+            time.perf_counter() - phase_start)
+        _COMPACTIONS.inc()
         return mapping
 
     # ---------------------------------------------------------- persistence

@@ -112,6 +112,15 @@ class SearchStats:
     #: of deadline): every reported distance is still exact, but the answer
     #: covers only the surviving shards' rows.
     partial: bool = False
+    #: Wall-clock seconds of the whole engine call, set at the public entry
+    #: points (:meth:`ExactSearcher.knn`, the batched engine, the sharded
+    #: scatter) — the caller-observed latency, as opposed to the aggregate
+    #: per-work-item CPU time of :attr:`total_time`.  For a batched call
+    #: every result carries the batch's wall time (the latency each caller
+    #: actually waited).  Merging per-worker stats keeps the target's value
+    #: (wall time is a whole-query property, like the sequential phases);
+    #: summarizing across queries sums it.
+    wall_time_s: float = 0.0
 
     @property
     def coverage(self) -> float:
@@ -478,7 +487,8 @@ class ExactSearcher:
     def knn(self, query: np.ndarray, k: int = 1,
             num_workers: "int | None" = None,
             timeout_s: "float | None" = None,
-            shared_best: "object | None" = None) -> SearchResult:
+            shared_best: "object | None" = None,
+            trace=None) -> SearchResult:
         """Exact k nearest neighbours of ``query`` under the (z-)ED.
 
         ``num_workers`` threads drain the query's own surviving-leaf queue
@@ -495,23 +505,34 @@ class ExactSearcher:
         :class:`_TandemHeap`): the sharded engine passes each shard the same
         global bound, so one shard's tightened threshold prunes every other
         shard's remaining work — PR 5's broadcast, lifted across shards.
+
+        ``trace`` (a :class:`~repro.obs.trace.Trace`) records the query's
+        phase spans — summarize, approximate, delta, traversal, refinement,
+        finalize — purely observationally: tracing never changes which rows
+        are refined or offered, so answers are bit-identical with tracing on
+        or off.
         """
+        start = time.perf_counter()
         k = validated_count(k)
         deadline = resolve_deadline(timeout_s)
         num_workers = resolve_num_workers(num_workers)
         delta = self._delta_source() if self._delta_source is not None else None
-        return self._knn_under_delta(query, k, num_workers, delta,
-                                     deadline=deadline,
-                                     shared_best=shared_best)
+        result = self._knn_under_delta(query, k, num_workers, delta,
+                                       deadline=deadline,
+                                       shared_best=shared_best, trace=trace)
+        result.stats.wall_time_s = time.perf_counter() - start
+        return result
 
     def _knn_under_delta(self, query: np.ndarray, k: int, num_workers: int,
                          delta, deadline: "float | None" = None,
-                         shared_best: "object | None" = None) -> SearchResult:
+                         shared_best: "object | None" = None,
+                         trace=None) -> SearchResult:
         """The engine behind :meth:`knn`, with the dynamic overlay pinned.
 
         The batched engine's intra-query fallback calls this directly so a
         whole batch answers over one consistent delta snapshot.
         """
+        setup_start = time.perf_counter() if trace is not None else 0.0
         available = self.index.num_series if delta is None else delta.num_surviving
         if k > available:
             raise SearchError(
@@ -531,12 +552,16 @@ class ExactSearcher:
         heap = SharedKnnHeap(k) if num_workers > 1 else _KnnHeap(k)
         if shared_best is not None:
             heap = _TandemHeap(heap, shared_best)
+        if trace is not None:
+            # Validation, z-normalization and the SFA transform of the query.
+            trace.add_phase("summarize", time.perf_counter() - setup_start)
 
         if self.index.average_leaf_size < self.flat_refinement_threshold:
             # Degenerate tree (typical at reproduction scale when the selected
             # summary components carry little signal and the root fan-out
             # shatters the data into near-singleton leaves): skip the per-leaf
             # machinery and filter-and-refine over the flat series directory.
+            flat_start = time.perf_counter() if trace is not None else 0.0
             if num_workers > 1:
                 self._flat_search_parallel(query, query_summary, heap, stats,
                                            delta, num_workers,
@@ -544,6 +569,18 @@ class ExactSearcher:
             else:
                 self._flat_search(query, query_summary, heap, stats,
                                   delta=delta, deadline=deadline)
+            if trace is not None:
+                flat_wall = time.perf_counter() - flat_start
+                # The flat path computes all per-series bounds in one call
+                # (recorded as traversal) and refines the survivors; split
+                # the phase accordingly so the taxonomy matches the tree path.
+                trace.add_phase(
+                    "traversal", min(stats.traversal_time, flat_wall),
+                    series_lower_bounds=stats.series_lower_bounds)
+                trace.add_phase(
+                    "refinement",
+                    max(flat_wall - min(stats.traversal_time, flat_wall), 0.0),
+                    exact_distances=stats.exact_distances)
         else:
             start = time.perf_counter()
             seed_leaf = self._approximate_descent(query_word, query_summary)
@@ -553,35 +590,72 @@ class ExactSearcher:
                 self._refine_leaves(query, query_summary, [seed_leaf], heap,
                                     stats, record_time=False, delta=delta)
             stats.approximate_time = time.perf_counter() - start
+            if trace is not None:
+                trace.add_phase("approximate", stats.approximate_time,
+                                seeded=int(seed_leaf is not None))
 
             if num_workers > 1:
                 start = time.perf_counter()
                 ordered_leaves, ordered_bounds = self._collect_leaves(
                     query_summary, heap.threshold, stats, skip_leaf=seed_leaf)
                 stats.traversal_time = time.perf_counter() - start
+                if trace is not None:
+                    trace.add_phase("traversal", stats.traversal_time,
+                                    leaves_queued=len(ordered_leaves),
+                                    nodes_pruned=stats.nodes_pruned)
+                    refine_start = time.perf_counter()
                 self._drain_queue_parallel(query, query_summary, ordered_leaves,
                                            ordered_bounds, heap, stats, delta,
                                            num_workers, deadline=deadline)
+                if trace is not None:
+                    # Wall time around the parallel drain; the merged
+                    # per-worker CPU time lands in a detail span below.
+                    trace.add_phase("refinement",
+                                    time.perf_counter() - refine_start,
+                                    workers=num_workers)
+                    trace.add_detail("refinement_cpu", stats.refinement_time,
+                                     leaves_visited=stats.leaves_visited)
             else:
                 # The delta is one extra pseudo-leaf, refined right after the
                 # seed so its series help tighten the BSF before traversal
                 # prunes.
                 if delta is not None:
+                    delta_start = time.perf_counter() if trace is not None else 0.0
                     self._refine_delta(query, query_summary, heap, stats, delta,
                                        deadline=deadline)
+                    if trace is not None:
+                        trace.add_phase("delta",
+                                        time.perf_counter() - delta_start,
+                                        delta_rows=int(delta.rows.size))
 
                 start = time.perf_counter()
                 ordered_leaves, ordered_bounds = self._collect_leaves(
                     query_summary, heap.threshold, stats, skip_leaf=seed_leaf)
                 stats.traversal_time = time.perf_counter() - start
+                if trace is not None:
+                    trace.add_phase("traversal", stats.traversal_time,
+                                    leaves_queued=len(ordered_leaves),
+                                    nodes_pruned=stats.nodes_pruned)
+                    refine_start = time.perf_counter()
 
                 self._process_queue(query, query_summary, ordered_leaves,
                                     ordered_bounds, heap, stats, delta=delta,
                                     deadline=deadline)
+                if trace is not None:
+                    trace.add_phase("refinement",
+                                    time.perf_counter() - refine_start,
+                                    leaves_visited=stats.leaves_visited)
 
+        final_start = time.perf_counter() if trace is not None else 0.0
         rows = np.array([index for _, index in heap.sorted_items()], dtype=np.int64)
-        return finalize_result(query, self.index.dataset.values, rows, stats,
-                               delta=delta)
+        result = finalize_result(query, self.index.dataset.values, rows, stats,
+                                 delta=delta)
+        if trace is not None:
+            trace.add_phase("finalize", time.perf_counter() - final_start,
+                            answers=int(rows.size))
+            trace.add_detail("heap", offers=stats.exact_distances,
+                             series_lower_bounds=stats.series_lower_bounds)
+        return result
 
     def nearest_neighbor(self, query: np.ndarray,
                          num_workers: "int | None" = None,
@@ -608,6 +682,7 @@ class ExactSearcher:
         tight.  Increasing ``max_refined_series`` trades time for recall and
         converges to the exact answer at ``max_refined_series >= num_series``.
         """
+        wall_start = time.perf_counter()
         k = validated_count(k)
         max_refined_series = validated_count(max_refined_series,
                                              "max_refined_series")
@@ -644,7 +719,9 @@ class ExactSearcher:
         stats.leaf_times.append(time.perf_counter() - start)
 
         rows_ = np.array([index for _, index in heap.sorted_items()], dtype=np.int64)
-        return finalize_result(query, self.index.dataset.values, rows_, stats)
+        result = finalize_result(query, self.index.dataset.values, rows_, stats)
+        result.stats.wall_time_s = time.perf_counter() - wall_start
+        return result
 
     def knn_batch(self, queries: np.ndarray, k: int = 1,
                   num_workers: "int | None" = None,

@@ -88,7 +88,29 @@ from repro.index.shard_health import (
     ShardHealthBoard,
 )
 from repro.index.stats import merge_search_stats
+from repro.obs.metrics import get_registry
 from repro.parallel.pool import WorkerPool
+
+_REGISTRY = get_registry()
+_SHARD_SCATTERS = _REGISTRY.counter(
+    "repro_shard_scatters_total",
+    "Scatter rounds issued by sharded queries (contamination reruns "
+    "count as separate rounds).")
+_SHARD_OUTCOMES = _REGISTRY.counter(
+    "repro_shard_outcomes_total",
+    "Per-shard scatter outcomes: answered, failed, or skipped "
+    "(quarantined).", labelnames=("shard", "status"))
+_SHARD_RETRIES = _REGISTRY.counter(
+    "repro_shard_retries_total",
+    "Transient-failure retries attempted against a shard.",
+    labelnames=("shard",))
+_SHARD_QUARANTINES = _REGISTRY.counter(
+    "repro_shard_quarantines_total",
+    "Times a shard entered quarantine.", labelnames=("shard",))
+_SHARD_READMITS = _REGISTRY.counter(
+    "repro_shard_readmits_total",
+    "Times a quarantined shard passed a probe and was readmitted.",
+    labelnames=("shard",))
 
 _MANIFEST_NAME = "sharded.json"
 _FORMAT_NAME = "repro-sharded-index"
@@ -329,7 +351,7 @@ class ShardedIndex:
                     sharded._engine(shard)
                 except CorruptionError as error:
                     sharded._board.record_persistent(shard.index, error)
-                    sharded._note_quarantine()
+                    sharded._note_quarantine(shard.index)
                 except Exception as error:  # noqa: BLE001 — quarantine, don't fail the load
                     sharded._board.record_transient(shard.index, error)
         return sharded
@@ -476,10 +498,15 @@ class ShardedIndex:
                     f"deadline")
                 if self._board.record_transient(shard.index, error) \
                         == QUARANTINED:
-                    self._note_quarantine()
+                    self._note_quarantine(shard.index)
                 outcomes[shard.index] = _Outcome(shard.index, "failed",
                                                  error=error)
-        return [outcomes[index] for index in range(len(self._shards))]
+        ordered = [outcomes[index] for index in range(len(self._shards))]
+        _SHARD_SCATTERS.inc()
+        for outcome in ordered:
+            _SHARD_OUTCOMES.labels(shard=str(outcome.shard),
+                                   status=outcome.status).inc()
+        return ordered
 
     def _run_with_retries(self, shard: _Shard, attempt,
                           deadline: "float | None",
@@ -523,7 +550,7 @@ class ShardedIndex:
                     shard.engine = None  # reload from disk before readmission
                 if not abandoned.is_set():
                     self._board.record_persistent(shard.index, error)
-                    self._note_quarantine()
+                    self._note_quarantine(shard.index)
                 return _Outcome(shard.index, "failed", error=error)
             except Exception as error:  # noqa: BLE001 — classified as transient
                 last_error = error
@@ -531,7 +558,7 @@ class ShardedIndex:
                     break
                 state = self._board.record_transient(shard.index, error)
                 if state == QUARANTINED:
-                    self._note_quarantine()
+                    self._note_quarantine(shard.index)
                     return _Outcome(shard.index, "failed",
                                     error=self._wrap_error(shard.index, error))
                 if attempt_number + 1 < policy.max_attempts:
@@ -541,6 +568,7 @@ class ShardedIndex:
                     if limit is None or limit > 0:
                         time.sleep(policy.backoff_s(attempt_number, shard.index,
                                                     limit=limit))
+                    _SHARD_RETRIES.labels(shard=str(shard.index)).inc()
                     continue
                 return _Outcome(shard.index, "failed",
                                 error=self._wrap_error(shard.index, error))
@@ -568,7 +596,8 @@ class ShardedIndex:
 
     def knn(self, query, k: int = 1, num_workers: "int | None" = None,
             timeout_s: "float | None" = None,
-            degraded: "str | None" = None) -> SearchResult:
+            degraded: "str | None" = None,
+            trace=None) -> SearchResult:
         """Exact k-NN by scatter-gather with cross-shard best-so-far pruning.
 
         All shards healthy: bit-identical to one unsharded index over the
@@ -586,12 +615,20 @@ class ShardedIndex:
         for the survivors; the gather detects that and re-scatters the
         surviving shards with a fresh heap (within the deadline), keeping
         the degraded-answer identity guarantee.
+
+        ``trace`` records the scatter's phase spans (normalize, scatter,
+        merge) plus one detail span per shard with its status and engine
+        time; tracing never changes the answer.
         """
+        wall_start = time.perf_counter()
         k = validated_count(k)
         query = validated_query(query, self._series_length)
         deadline = resolve_deadline(timeout_s)
         mode = self._degraded_mode(degraded)
         query_normalized = znormalize(query)
+        if trace is not None:
+            trace.add_phase("normalize", time.perf_counter() - wall_start)
+            scatter_start = time.perf_counter()
         outcomes: "list[_Outcome]" = []
         presets: "dict[int, _Outcome] | None" = None
         for _ in range(3):  # initial scatter + bounded contamination reruns
@@ -615,7 +652,23 @@ class ShardedIndex:
                 break  # out of budget: serve what we have (timed-out answer)
             # Freeze the failures, re-ask only the shards that answered.
             presets = {o.shard: o for o in outcomes if not o.answered}
-        return self._merge_knn(query_normalized, k, outcomes, mode)
+        if trace is not None:
+            trace.add_phase("scatter", time.perf_counter() - scatter_start,
+                            shards=len(outcomes),
+                            answered=sum(1 for o in outcomes if o.answered))
+            for outcome in outcomes:
+                trace.add_detail(
+                    f"shard{outcome.shard}",
+                    outcome.stats.total_time if outcome.stats is not None
+                    else 0.0,
+                    answered=int(outcome.answered))
+            merge_start = time.perf_counter()
+        result = self._merge_knn(query_normalized, k, outcomes, mode)
+        if trace is not None:
+            trace.add_phase("merge", time.perf_counter() - merge_start,
+                            candidates=int(result.indices.size))
+        result.stats.wall_time_s = time.perf_counter() - wall_start
+        return result
 
     def nearest_neighbor(self, query, num_workers: "int | None" = None,
                          timeout_s: "float | None" = None,
@@ -706,6 +759,7 @@ class ShardedIndex:
         their own schedules); answers are still exact and bit-identical to
         the unsharded batch through the same candidate-union recomputation.
         """
+        wall_start = time.perf_counter()
         k = validated_count(k)
         try:
             matrix = np.asarray(queries, dtype=np.float64)
@@ -753,6 +807,11 @@ class ShardedIndex:
             results.append(SearchResult(indices=rows_sorted[keep],
                                         distances=np.sqrt(squared[keep]),
                                         stats=stats))
+        # Every result carries the batch's caller-observed wall time, the
+        # same convention as BatchSearcher.knn_batch.
+        wall_time = time.perf_counter() - wall_start
+        for result in results:
+            result.stats.wall_time_s = wall_time
         return results
 
     def _attempt_batch(self, shard: _Shard, slice_deadline: "float | None",
@@ -884,12 +943,12 @@ class ShardedIndex:
                     with shard.lock:
                         shard.engine = None
                     self._board.record_persistent(shard_index, error)
-                    self._note_quarantine()
+                    self._note_quarantine(shard_index)
                 except Exception as error:  # noqa: BLE001 — try the next shard
                     last_error = error
                     if self._board.record_transient(shard_index, error) \
                             == QUARANTINED:
-                        self._note_quarantine()
+                        self._note_quarantine(shard_index)
                 else:
                     self._next_insert_shard = \
                         (shard_index + 1) % len(self._shards)
@@ -1007,10 +1066,13 @@ class ShardedIndex:
                 self._board.record_transient(index, error)
                 return False
         self._board.readmit(index)
+        _SHARD_READMITS.labels(shard=str(index)).inc()
         return True
 
-    def _note_quarantine(self) -> None:
-        """A shard just tripped: make sure the probe loop is running/awake."""
+    def _note_quarantine(self, shard_index: "int | None" = None) -> None:
+        """A shard just tripped: count it, make sure the probe loop runs."""
+        if shard_index is not None:
+            _SHARD_QUARANTINES.labels(shard=str(shard_index)).inc()
         if self._closed or not self._health.auto_probe:
             return
         with self._probe_thread_lock:

@@ -137,18 +137,20 @@ class SofaIndex:
 
     def knn(self, query: np.ndarray, k: int = 1,
             num_workers: "int | None" = None,
-            timeout_s: "float | None" = None) -> SearchResult:
+            timeout_s: "float | None" = None,
+            trace=None) -> SearchResult:
         """Exact k nearest neighbours of ``query``.
 
         ``num_workers`` threads drain the query's surviving-leaf queue
         against a shared best-so-far (``None`` = the ``REPRO_NUM_WORKERS``
         process default); answers are bit-identical for every worker count.
         ``timeout_s`` bounds the search: on expiry the best-so-far is
-        finalized with ``stats.timed_out=True`` (see
+        finalized with ``stats.timed_out=True``; ``trace`` records the
+        query's phase spans without changing its answer (see
         :meth:`repro.index.search.ExactSearcher.knn`).
         """
         return self._require_built().knn(query, k=k, num_workers=num_workers,
-                                         timeout_s=timeout_s)
+                                         timeout_s=timeout_s, trace=trace)
 
     def nearest_neighbor(self, query: np.ndarray,
                          num_workers: "int | None" = None,

@@ -29,7 +29,9 @@ def merge_search_stats(into: "SearchStats",
     thread timing — which is why the virtual-core simulator is only fed
     stats from 1-worker searches.  Counters sum; per-work-item times
     concatenate; the sequential phases (``approximate_time``,
-    ``traversal_time``) belong to ``into`` and are left untouched.
+    ``traversal_time``) and the whole-query ``wall_time_s`` belong to
+    ``into`` and are left untouched — a worker's lifetime is contained in
+    the query's wall time, not added to it.
     """
     for part in parts:
         into.leaves_visited += part.leaves_visited
@@ -53,11 +55,21 @@ def summarize_search_stats(parts: "Iterable[SearchStats]") -> dict:
     served, the same definition as the per-query property).  Unlike
     :func:`merge_search_stats` this never mutates its inputs and reports
     *across* queries rather than across one query's workers.
+
+    An **empty iterable** yields the well-formed zeroed summary: every
+    counter 0, ``wall_time_s``/``engine_time_s`` 0.0, and the ratio fields
+    at their vacuous identities (``pruning_ratio`` 0.0, ``coverage`` 1.0) —
+    the same keys and types as a populated report, so consumers never need
+    an emptiness special case.  Wall times *sum* across queries (total
+    caller-observed latency; divide by ``queries`` for the mean) and the
+    worst single query is reported as ``max_wall_time_s``.
     """
     queries = timed_out = partial_answers = 0
     series_served = lower_bounds = exact_distances = leaves_visited = 0
     shards_total = shards_answered = 0
     total_time = 0.0
+    wall_time = 0.0
+    max_wall_time = 0.0
     for part in parts:
         queries += 1
         timed_out += int(part.timed_out)
@@ -69,6 +81,8 @@ def summarize_search_stats(parts: "Iterable[SearchStats]") -> dict:
         shards_total += part.shards_total
         shards_answered += part.shards_answered
         total_time += part.total_time
+        wall_time += part.wall_time_s
+        max_wall_time = max(max_wall_time, part.wall_time_s)
     return {
         "queries": queries,
         "timed_out": timed_out,
@@ -80,6 +94,8 @@ def summarize_search_stats(parts: "Iterable[SearchStats]") -> dict:
         "shards_total": shards_total,
         "shards_answered": shards_answered,
         "engine_time_s": total_time,
+        "wall_time_s": wall_time,
+        "max_wall_time_s": max_wall_time,
         "pruning_ratio": (1.0 - exact_distances / series_served
                           if series_served else 0.0),
         # Coverage over the scatters actually performed: 1.0 when every

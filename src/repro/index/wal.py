@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import struct
 import threading
+import time
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -67,6 +68,7 @@ import numpy as np
 
 from repro.core import fsio
 from repro.core.errors import CorruptionError, InvalidParameterError, WalError
+from repro.obs.metrics import get_registry
 
 #: First bytes of every segment file.
 WAL_MAGIC = b"REPROWAL"
@@ -81,6 +83,20 @@ FSYNC_POLICIES = ("always", "batch", "off")
 OP_INSERT = 1
 OP_DELETE = 2
 OP_COMPACT = 3
+
+_REGISTRY = get_registry()
+_WAL_APPENDS = _REGISTRY.counter(
+    "repro_wal_appends_total", "WAL records appended, by operation.",
+    labelnames=("op",))
+_WAL_APPEND_BYTES = _REGISTRY.counter(
+    "repro_wal_append_bytes_total", "Bytes appended to WAL segments.")
+_WAL_FSYNCS = _REGISTRY.counter(
+    "repro_wal_fsyncs_total", "fsync calls issued on WAL segments.")
+_WAL_FSYNC_SECONDS = _REGISTRY.histogram(
+    "repro_wal_fsync_seconds", "Latency of WAL segment fsync calls.")
+
+#: Metric label per record op code.
+_OP_LABELS = {OP_INSERT: "insert", OP_DELETE: "delete", OP_COMPACT: "compact"}
 
 _FILE_HEADER = struct.Struct("<8sII")   # magic, version, segment index
 _RECORD_HEADER = struct.Struct("<QBII")  # lsn, op, payload length, crc32
@@ -253,6 +269,11 @@ class WriteAheadLog:
         self._lock = threading.RLock()
         self._unsynced = 0
         self._last_lsn = 0
+        # Records appended since the last checkpoint — the "is the WAL
+        # falling behind" gauge.  Checkpoints unlink covered segments, so
+        # scanning whatever segments exist at open counts exactly the
+        # uncheckpointed records.
+        self._records_pending = 0
         fsio.mkdir(self.directory)
         segments = _segment_paths(self.directory)
         if not segments:
@@ -263,10 +284,12 @@ class WriteAheadLog:
             raw, _end, _torn = _read_segment(segment, is_last=False)
             if raw:
                 self._last_lsn = raw[-1][0]
+            self._records_pending += len(raw)
         tail = segments[-1]
         raw, valid_end, torn = _read_segment(tail, is_last=True)
         if raw:
             self._last_lsn = raw[-1][0]
+        self._records_pending += len(raw)
         if expect_empty and self._last_lsn:
             raise WalError(
                 f"write-ahead log {self.directory} already holds records up "
@@ -293,6 +316,16 @@ class WriteAheadLog:
     def last_lsn(self) -> int:
         """Sequence number of the most recently appended record."""
         return self._last_lsn
+
+    @property
+    def records_pending(self) -> int:
+        """Records appended since the last checkpoint (the WAL's depth).
+
+        This is how far recovery would have to replay — the number an
+        operator watches to know compaction + snapshotting are keeping up
+        with the write rate.
+        """
+        return self._records_pending
 
     def append_insert(self, values: np.ndarray) -> int:
         """Log a batch insert (normalized float64 rows); returns its LSN."""
@@ -324,19 +357,34 @@ class WriteAheadLog:
             if (force_sync or self.fsync == "always"
                     or (self.fsync == "batch"
                         and self._unsynced >= self._batch_bytes)):
-                fsio.fsync_handle(self._handle)
+                self._timed_fsync()
                 self._unsynced = 0
             # Bump only after the bytes are in the file: if the append (or a
             # simulated crash in the harness) raised above, neither the log
             # nor the caller's state advanced — write-ahead holds.
             self._last_lsn = lsn
+            self._records_pending += 1
+            _WAL_APPENDS.labels(op=_OP_LABELS[op]).inc()
+            _WAL_APPEND_BYTES.inc(len(record))
             return lsn
+
+    def _timed_fsync(self) -> None:
+        """fsync the open segment, feeding the fsync count/latency metrics.
+
+        A simulated crash in the reliability harness raises *inside*
+        ``fsync_handle``; such a failed fsync is not counted — nothing
+        durable happened.
+        """
+        fsync_start = time.perf_counter()
+        fsio.fsync_handle(self._handle)
+        _WAL_FSYNCS.inc()
+        _WAL_FSYNC_SECONDS.observe(time.perf_counter() - fsync_start)
 
     def sync(self) -> None:
         """Force unsynced bytes to stable storage (a durability barrier)."""
         with self._lock:
             if self._handle is not None and self._unsynced:
-                fsio.fsync_handle(self._handle)
+                self._timed_fsync()
                 self._unsynced = 0
 
     # -------------------------------------------------- lifecycle management
@@ -384,6 +432,7 @@ class WriteAheadLog:
             for segment in previous:
                 fsio.unlink(segment)
             fsio.fsync_dir(self.directory)
+            self._records_pending = 0
 
     def total_bytes(self) -> int:
         """Bytes currently held across all segments (the log's footprint)."""

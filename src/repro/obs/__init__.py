@@ -1,0 +1,38 @@
+"""repro.obs — the observability substrate: metrics, tracing, slow-query log.
+
+Three pieces, deliberately independent:
+
+- :mod:`repro.obs.metrics` — a process-wide, thread-safe registry of
+  counters, gauges and fixed-bucket histograms with per-thread
+  accumulation (no hot-path lock contention) and Prometheus text
+  exposition for ``GET /metrics``.
+- :mod:`repro.obs.trace` — a per-query :class:`Trace` of named spans
+  threaded through the search pipeline; off by default, near-zero cost
+  when disabled.
+- :mod:`repro.obs.slowlog` — a structured slow-query log emitting one
+  JSON line (with the full span breakdown, when traced) per
+  over-threshold query.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import Span, Trace
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_registry",
+    "SlowQueryLog",
+    "Span",
+    "Trace",
+]

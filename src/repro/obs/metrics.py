@@ -1,0 +1,429 @@
+"""Process-wide metrics: counters, gauges, histograms, Prometheus exposition.
+
+Serving a query takes tens of microseconds of engine time, so the
+instrumentation that observes it must cost nanoseconds — a single shared
+lock on the hot path would serialize exactly the concurrency the serving
+layer exists to exploit.  Every :class:`Counter` and :class:`Histogram`
+therefore accumulates into *per-thread cells*: a dict keyed by
+``threading.get_ident()`` whose values are plain mutable lists.  An
+increment is one dict lookup plus ``cell[0] += n`` — atomic enough under
+the GIL because list-item augmented assignment on a float never yields —
+and the registry lock is taken only the first time a given thread touches
+a given metric.  Reads (:meth:`Counter.value`, :meth:`render`) sum the
+cells without locking writers out; a scrape may catch a cell mid-update
+and report a value a few increments stale, which is fine for monotonic
+series — Prometheus semantics only require that successive scrapes never
+go backwards, and cells are never removed or zeroed.
+
+Cells are keyed by thread *ident*, which CPython recycles after a thread
+exits.  Recycling is harmless here: a reused ident hands the new thread
+the dead thread's cell, and since cells only ever accumulate into the same
+monotonic total, attribution between threads is irrelevant.
+
+The whole module is stdlib-only.  :meth:`MetricsRegistry.render` emits the
+Prometheus text exposition format (version 0.0.4) so any scraper — or the
+parser-based tests — can consume ``GET /metrics`` directly.
+
+Disabling
+---------
+``registry.set_enabled(False)`` turns every ``inc``/``observe``/``set``
+into an immediate return — the operator kill switch, and the
+"uninstrumented" baseline that :mod:`benchmarks.bench_obs_overhead`
+measures against.  The default registry honours ``REPRO_METRICS=0`` (or
+``false``/``off``) at import time.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterable, Sequence
+
+from repro.core.errors import InvalidParameterError
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds, tuned for query latencies: from
+#: half a millisecond (a small flat search) to ten seconds (a huge scatter
+#: with retries).  ``+Inf`` is implicit — the render step appends it.
+DEFAULT_LATENCY_BUCKETS: "tuple[float, ...]" = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_VALID_FIRST = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_VALID_REST = _VALID_FIRST | set("0123456789")
+
+
+def _check_name(name: str) -> str:
+    if not name or name[0] not in _VALID_FIRST \
+            or any(ch not in _VALID_REST for ch in name):
+        raise InvalidParameterError(
+            f"invalid metric name {name!r}: must match "
+            f"[a-zA-Z_:][a-zA-Z0-9_:]*")
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN (a dead callback gauge) must still render
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(value)
+
+
+class _Child:
+    """Shared plumbing: one labelled time series inside a family."""
+
+    __slots__ = ("_family",)
+
+    def __init__(self, family: "_Family") -> None:
+        self._family = family
+
+    @property
+    def _enabled(self) -> bool:
+        return self._family.registry._enabled
+
+
+class Counter(_Child):
+    """A monotonically increasing sum, accumulated in per-thread cells."""
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, family: "_Family") -> None:
+        super().__init__(family)
+        self._cells: "dict[int, list[float]]" = {}
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._family.registry._enabled:
+            return
+        if amount < 0:
+            raise InvalidParameterError(
+                f"counters are monotonic; cannot inc by {amount}")
+        cells = self._cells
+        ident = threading.get_ident()
+        cell = cells.get(ident)
+        if cell is None:
+            with self._family.registry._lock:
+                cell = cells.setdefault(ident, [0.0])
+        cell[0] += amount
+
+    def value(self) -> float:
+        return sum(cell[0] for cell in list(self._cells.values()))
+
+    def _reset(self) -> None:
+        self._cells.clear()
+
+
+class Gauge(_Child):
+    """A value that can go up and down — or be computed at scrape time.
+
+    :meth:`set_function` turns the gauge into a *callback* gauge: the
+    callable runs on every scrape, which is how cheap engine properties
+    (WAL depth, delta size, tombstones) become time series without any
+    write-path bookkeeping.
+    """
+
+    __slots__ = ("_value", "_fn", "_lock")
+
+    def __init__(self, family: "_Family") -> None:
+        super().__init__(family)
+        self._value = 0.0
+        self._fn: "Callable[[], float] | None" = None
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        if not self._family.registry._enabled:
+            return
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if not self._family.registry._enabled:
+            return
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.inc(-amount)
+
+    def set_function(self, fn: "Callable[[], float]") -> None:
+        """Compute the gauge by calling ``fn`` at every scrape."""
+        with self._lock:
+            self._fn = fn
+
+    def value(self) -> float:
+        fn = self._fn
+        if fn is not None:
+            try:
+                return float(fn())
+            except Exception:  # noqa: BLE001 — a dead callback must not kill /metrics
+                return float("nan")
+        with self._lock:
+            return self._value
+
+    def _reset(self) -> None:
+        with self._lock:
+            self._value = 0.0
+
+
+class Histogram(_Child):
+    """Fixed cumulative buckets with per-thread accumulation.
+
+    Each thread's cell is ``[counts, total, count]`` where ``counts`` has
+    one slot per finite bucket plus the implicit ``+Inf``.  ``observe`` is
+    a bisect plus three in-place updates — no locks after the first touch.
+    """
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, family: "_Family") -> None:
+        super().__init__(family)
+        self._cells: "dict[int, list]" = {}
+
+    def observe(self, value: float) -> None:
+        if not self._family.registry._enabled:
+            return
+        cells = self._cells
+        ident = threading.get_ident()
+        cell = cells.get(ident)
+        if cell is None:
+            with self._family.registry._lock:
+                cell = cells.setdefault(
+                    ident,
+                    [[0] * (len(self._family.buckets) + 1), 0.0, 0])
+        cell[0][bisect_left(self._family.buckets, value)] += 1
+        cell[1] += value
+        cell[2] += 1
+
+    def snapshot(self) -> "tuple[list[int], float, int]":
+        """(per-bucket counts, sum, count) summed over all threads."""
+        counts = [0] * (len(self._family.buckets) + 1)
+        total = 0.0
+        count = 0
+        for cell in list(self._cells.values()):
+            for i, n in enumerate(cell[0]):
+                counts[i] += n
+            total += cell[1]
+            count += cell[2]
+        return counts, total, count
+
+    def value(self) -> int:
+        """Total number of observations (the ``_count`` series)."""
+        return self.snapshot()[2]
+
+    def _reset(self) -> None:
+        self._cells.clear()
+
+
+_TYPES = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+class _Family:
+    """One metric name: its metadata plus a child per label combination."""
+
+    __slots__ = ("registry", "name", "help", "type", "labelnames",
+                 "buckets", "_children")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, help_text: str,
+                 metric_type: str, labelnames: "tuple[str, ...]",
+                 buckets: "tuple[float, ...]") -> None:
+        self.registry = registry
+        self.name = name
+        self.help = help_text
+        self.type = metric_type
+        self.labelnames = labelnames
+        self.buckets = buckets
+        self._children: "dict[tuple[str, ...], _Child]" = {}
+
+    def labels(self, **labelvalues: str):
+        """The child for one label combination (created on first use)."""
+        if tuple(sorted(labelvalues)) != tuple(sorted(self.labelnames)):
+            raise InvalidParameterError(
+                f"metric {self.name!r} takes labels "
+                f"{list(self.labelnames)}, got {sorted(labelvalues)}")
+        key = tuple(str(labelvalues[name]) for name in self.labelnames)
+        child = self._children.get(key)
+        if child is None:
+            with self.registry._lock:
+                child = self._children.setdefault(
+                    key, _TYPES[self.type](self))
+        return child
+
+    def _default_child(self):
+        if self.labelnames:
+            raise InvalidParameterError(
+                f"metric {self.name!r} is labelled by "
+                f"{list(self.labelnames)}; use .labels(...)")
+        return self.labels()
+
+    # Unlabelled families proxy the child API directly, so
+    # ``registry.counter("x", "...").inc()`` just works.
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def set_function(self, fn: "Callable[[], float]") -> None:
+        self._default_child().set_function(fn)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    def value(self) -> float:
+        return self._default_child().value()
+
+    def snapshot(self):
+        return self._default_child().snapshot()
+
+    def children(self) -> "dict[tuple[str, ...], _Child]":
+        return dict(self._children)
+
+
+class MetricsRegistry:
+    """A process-wide set of metric families with Prometheus exposition.
+
+    Creating the same family twice (same name, type, label names) returns
+    the existing one, so modules can declare their metrics at import time
+    without coordinating; re-declaring with *different* metadata raises.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._lock = threading.Lock()
+        self._families: "dict[str, _Family]" = {}
+        self._enabled = bool(enabled)
+
+    # ------------------------------------------------------------ creation
+
+    def _family(self, name: str, help_text: str, metric_type: str,
+                labelnames: "Sequence[str]",
+                buckets: "Sequence[float]" = ()) -> _Family:
+        _check_name(name)
+        labelnames = tuple(labelnames)
+        for label in labelnames:
+            _check_name(label)
+        buckets = tuple(sorted(float(b) for b in buckets))
+        with self._lock:
+            existing = self._families.get(name)
+            if existing is not None:
+                if existing.type != metric_type \
+                        or existing.labelnames != labelnames \
+                        or (metric_type == "histogram"
+                            and existing.buckets != buckets):
+                    raise InvalidParameterError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.type} with labels "
+                        f"{list(existing.labelnames)}")
+                return existing
+            family = _Family(self, name, help_text, metric_type,
+                             labelnames, buckets)
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help_text: str,
+                labelnames: "Sequence[str]" = ()) -> _Family:
+        """A monotonic counter family; name it ``*_total`` by convention."""
+        return self._family(name, help_text, "counter", labelnames)
+
+    def gauge(self, name: str, help_text: str,
+              labelnames: "Sequence[str]" = ()) -> _Family:
+        return self._family(name, help_text, "gauge", labelnames)
+
+    def histogram(self, name: str, help_text: str,
+                  labelnames: "Sequence[str]" = (),
+                  buckets: "Sequence[float]" = DEFAULT_LATENCY_BUCKETS,
+                  ) -> _Family:
+        if not buckets:
+            raise InvalidParameterError("histogram needs at least one bucket")
+        return self._family(name, help_text, "histogram", labelnames, buckets)
+
+    # ------------------------------------------------------------- control
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Kill switch: when off, every write is an immediate return."""
+        self._enabled = bool(enabled)
+
+    def reset(self) -> None:
+        """Zero every child (tests and benchmarks; never in production)."""
+        with self._lock:
+            families = list(self._families.values())
+        for family in families:
+            for child in family.children().values():
+                child._reset()
+
+    def families(self) -> "list[_Family]":
+        with self._lock:
+            return list(self._families.values())
+
+    # ---------------------------------------------------------- exposition
+
+    def render(self) -> str:
+        """The registry in Prometheus text exposition format 0.0.4."""
+        lines: "list[str]" = []
+        for family in sorted(self.families(), key=lambda f: f.name):
+            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.type}")
+            for key in sorted(family.children()):
+                child = family.children().get(key)
+                if child is None:
+                    continue
+                label_str = ",".join(
+                    f'{name}="{_escape_label_value(value)}"'
+                    for name, value in zip(family.labelnames, key))
+                if family.type == "histogram":
+                    lines.extend(self._render_histogram(
+                        family, child, label_str))
+                else:
+                    suffix = f"{{{label_str}}}" if label_str else ""
+                    lines.append(
+                        f"{family.name}{suffix} "
+                        f"{_format_value(child.value())}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    @staticmethod
+    def _render_histogram(family: _Family, child: Histogram,
+                          label_str: str) -> "Iterable[str]":
+        counts, total, count = child.snapshot()
+        cumulative = 0
+        prefix = f"{label_str}," if label_str else ""
+        for bound, bucket_count in zip(
+                list(family.buckets) + [float("inf")], counts):
+            cumulative += bucket_count
+            yield (f'{family.name}_bucket{{{prefix}le='
+                   f'"{_format_value(bound)}"}} {cumulative}')
+        suffix = f"{{{label_str}}}" if label_str else ""
+        yield f"{family.name}_sum{suffix} {_format_value(total)}"
+        yield f"{family.name}_count{suffix} {count}"
+
+
+_DEFAULT_REGISTRY = MetricsRegistry(
+    enabled=os.environ.get("REPRO_METRICS", "1").strip().lower()
+    not in ("0", "false", "off", "no"))
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide default registry (what ``GET /metrics`` renders)."""
+    return _DEFAULT_REGISTRY

@@ -36,17 +36,39 @@ from repro.core.errors import (
     OverloadedError,
     ShutdownError,
 )
+from repro.obs.metrics import get_registry
+
+_REGISTRY = get_registry()
+_QUEUE_WAIT = _REGISTRY.histogram(
+    "repro_microbatch_queue_wait_seconds",
+    "Time an item waited in the micro-batch queue before its batch started.",
+    labelnames=("queue",))
+_BATCHES = _REGISTRY.counter(
+    "repro_microbatch_batches_total",
+    "Batches handed to process_batch.", labelnames=("queue",))
+_ITEMS = _REGISTRY.counter(
+    "repro_microbatch_items_total",
+    "Items coalesced into batches.", labelnames=("queue",))
+_SHED = _REGISTRY.counter(
+    "repro_microbatch_shed_total",
+    "Submissions rejected because the backlog bound was reached.",
+    labelnames=("queue",))
+_DRAINER_RESTARTS = _REGISTRY.counter(
+    "repro_microbatch_drainer_restarts_total",
+    "Drainer deaths caught by the watchdog (each restarts the drainer).",
+    labelnames=("queue",))
 
 
 class _Pending:
     """One submitted item and the event its submitter blocks on."""
 
-    __slots__ = ("item", "event", "outcome")
+    __slots__ = ("item", "event", "outcome", "enqueued_at")
 
     def __init__(self, item: Any) -> None:
         self.item = item
         self.event = threading.Event()
         self.outcome: Any = None
+        self.enqueued_at = time.monotonic()
 
 
 class MicroBatchQueue:
@@ -104,6 +126,12 @@ class MicroBatchQueue:
         self._batched_items = 0
         self._largest_batch = 0
         self._restarts = 0
+        # Registry children are resolved once per queue, not per observation.
+        self._m_wait = _QUEUE_WAIT.labels(queue=name)
+        self._m_batches = _BATCHES.labels(queue=name)
+        self._m_items = _ITEMS.labels(queue=name)
+        self._m_shed = _SHED.labels(queue=name)
+        self._m_restarts = _DRAINER_RESTARTS.labels(queue=name)
         self._drainer = threading.Thread(target=self._drain_guarded,
                                          name=self._name, daemon=True)
         self._drainer.start()
@@ -126,6 +154,7 @@ class MicroBatchQueue:
                     "shutting down")
             if self.max_pending is not None \
                     and len(self._pending) >= self.max_pending:
+                self._m_shed.inc()
                 raise OverloadedError(
                     f"the batch queue is full ({len(self._pending)} pending, "
                     f"bound {self.max_pending}); retry shortly")
@@ -196,6 +225,13 @@ class MicroBatchQueue:
             self._batches += 1
             self._batched_items += len(batch)
             self._largest_batch = max(self._largest_batch, len(batch))
+        # Metric observation outside the lock: per-thread cells make it
+        # cheap, and nothing below depends on queue state.
+        now = time.monotonic()
+        self._m_batches.inc()
+        self._m_items.inc(len(batch))
+        for pending in batch:
+            self._m_wait.observe(max(0.0, now - pending.enqueued_at))
         return batch
 
     def _drain_guarded(self) -> None:
@@ -230,6 +266,7 @@ class MicroBatchQueue:
             self._active = []
             self._pending = []
             self._restarts += 1
+            self._m_restarts.inc()
             if not self._closed:
                 self._drainer = threading.Thread(target=self._drain_guarded,
                                                  name=self._name, daemon=True)

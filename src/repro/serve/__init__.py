@@ -22,6 +22,12 @@ Sharded indexes (:class:`~repro.index.sharded.ShardedIndex`) are first-class:
 :meth:`~repro.serve.app.SearchApp.load_sharded` serves one, ``/healthz``
 flips to ``"degraded"`` (still 200) while shards are quarantined, and
 ``/stats`` carries coverage counters.
+
+Observability rides along (see :mod:`repro.obs`): ``GET /metrics`` renders
+the process-wide registry in the Prometheus text format, ``/knn`` requests
+can opt into a per-query span breakdown with ``"trace": true``, and a
+configured :attr:`~repro.serve.config.ServeConfig.slow_query_s` threshold
+turns on the structured slow-query log (``GET /slow_queries``).
 """
 
 from repro.serve.app import SearchApp, ServedIndex

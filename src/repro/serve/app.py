@@ -43,8 +43,51 @@ from repro.index.search import (
 )
 from repro.index.sharded import ShardedIndex
 from repro.index.stats import summarize_search_stats
+from repro.obs.metrics import get_registry
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import Trace
 from repro.serve.batching import KnnBatcher, engine_series_length, engine_tree
 from repro.serve.config import ServeConfig
+
+_REGISTRY = get_registry()
+_QUERY_SECONDS = _REGISTRY.histogram(
+    "repro_query_seconds",
+    "Caller-observed /knn latency, per served index.",
+    labelnames=("index",))
+_QUERIES = _REGISTRY.counter(
+    "repro_queries_total", "Answered /knn requests.", labelnames=("index",))
+_QUERY_TIMEOUTS = _REGISTRY.counter(
+    "repro_query_timeouts_total",
+    "Queries whose budget expired (still well-formed answers).",
+    labelnames=("index",))
+_QUERY_PARTIALS = _REGISTRY.counter(
+    "repro_query_partials_total",
+    "Sharded queries answered from a subset of shards.",
+    labelnames=("index",))
+_SLOW_QUERIES = _REGISTRY.counter(
+    "repro_slow_queries_total",
+    "Queries over the configured slow-query threshold.",
+    labelnames=("index",))
+_QUERY_WORK = _REGISTRY.counter(
+    "repro_query_work_total",
+    "Search work performed answering queries, by kind.",
+    labelnames=("index", "kind"))
+_WAL_DEPTH_GAUGE = _REGISTRY.gauge(
+    "repro_wal_depth",
+    "WAL records since the last checkpoint, per writable index.",
+    labelnames=("index",))
+_DELTA_PENDING_GAUGE = _REGISTRY.gauge(
+    "repro_delta_pending",
+    "Buffered delta rows awaiting compaction, per writable index.",
+    labelnames=("index",))
+_TOMBSTONES_GAUGE = _REGISTRY.gauge(
+    "repro_tombstones",
+    "Deleted-but-not-compacted rows, per writable index.",
+    labelnames=("index",))
+_GENERATION_GAUGE = _REGISTRY.gauge(
+    "repro_index_generation",
+    "Serving generation (bumped by every successful compact).",
+    labelnames=("index",))
 
 
 class _StatsAccumulator:
@@ -57,22 +100,27 @@ class _StatsAccumulator:
 
     _COUNTERS = ("queries", "timed_out", "partial_answers", "series_served",
                  "series_lower_bounds", "exact_distances", "leaves_visited",
-                 "shards_total", "shards_answered", "engine_time_s")
+                 "shards_total", "shards_answered", "engine_time_s",
+                 "wall_time_s")
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._totals = {key: 0 for key in self._COUNTERS}
         self._totals["engine_time_s"] = 0.0
+        self._totals["wall_time_s"] = 0.0
+        self._max_wall = 0.0
 
     def add(self, stats: SearchStats) -> None:
         part = summarize_search_stats([stats])
         with self._lock:
             for key in self._COUNTERS:
                 self._totals[key] += part[key]
+            self._max_wall = max(self._max_wall, part["max_wall_time_s"])
 
     def report(self) -> dict:
         with self._lock:
             totals = dict(self._totals)
+            totals["max_wall_time_s"] = self._max_wall
         served = totals["series_served"]
         totals["pruning_ratio"] = (
             1.0 - totals["exact_distances"] / served if served else 0.0)
@@ -100,6 +148,31 @@ class ServedIndex:
         #: Monotonic serving generation; bumped by every successful compact.
         self.generation = 1
         self.search_stats = _StatsAccumulator()
+        # Registry children resolved once per entry, not per request.
+        self._m_latency = _QUERY_SECONDS.labels(index=name)
+        self._m_queries = _QUERIES.labels(index=name)
+        self._m_timeouts = _QUERY_TIMEOUTS.labels(index=name)
+        self._m_partials = _QUERY_PARTIALS.labels(index=name)
+        self._m_slow = _SLOW_QUERIES.labels(index=name)
+        self._m_exact = _QUERY_WORK.labels(index=name, kind="exact_distances")
+        self._m_lower = _QUERY_WORK.labels(index=name,
+                                           kind="series_lower_bounds")
+        self._m_leaves = _QUERY_WORK.labels(index=name, kind="leaves_visited")
+
+    def observe_query(self, stats: SearchStats) -> None:
+        """Fold one answered query into this entry's exported metrics."""
+        self._m_latency.observe(stats.wall_time_s)
+        self._m_queries.inc()
+        if stats.timed_out:
+            self._m_timeouts.inc()
+        if stats.shards_total and stats.partial:
+            self._m_partials.inc()
+        if stats.exact_distances:
+            self._m_exact.inc(stats.exact_distances)
+        if stats.series_lower_bounds:
+            self._m_lower.inc(stats.series_lower_bounds)
+        if stats.leaves_visited:
+            self._m_leaves.inc(stats.leaves_visited)
 
     @property
     def index_type(self) -> str:
@@ -154,6 +227,10 @@ class SearchApp:
         self._indexes: "dict[str, ServedIndex]" = {}
         self._registry_lock = threading.Lock()
         self._closed = False
+        self.slow_log = (
+            SlowQueryLog(self.config.slow_query_s,
+                         path=self.config.slow_query_log_path)
+            if self.config.slow_query_s is not None else None)
 
     # ------------------------------------------------------------ registry
 
@@ -186,6 +263,17 @@ class SearchApp:
             self._indexes[name] = entry
         if previous is not None and previous.batcher is not None:
             previous.batcher.close()
+        # Callback gauges read the *current* entry on every scrape, so a
+        # replacement under the same name re-points them automatically.
+        _GENERATION_GAUGE.labels(index=name).set_function(
+            lambda: entry.generation)
+        if isinstance(engine, DynamicIndex):
+            _WAL_DEPTH_GAUGE.labels(index=name).set_function(
+                lambda: entry.engine.wal_depth)
+            _DELTA_PENDING_GAUGE.labels(index=name).set_function(
+                lambda: entry.engine.delta_count)
+            _TOMBSTONES_GAUGE.labels(index=name).set_function(
+                lambda: entry.engine.num_tombstones)
         return entry
 
     def load_snapshot(self, name: str, path, *, writable: bool = False,
@@ -249,24 +337,36 @@ class SearchApp:
         """Liveness plus shard health.
 
         Stays exactly ``{"status": "ok", "indexes": n}`` while every served
-        index is fully healthy.  When a sharded index has quarantined shards
-        the status flips to ``"degraded"`` and a ``shards`` section carries
-        each degraded index's per-shard states — still HTTP 200, because a
-        degraded server keeps answering (with ``partial`` results) and a
-        load balancer should not eject it for a recoverable shard fault.
+        index is fully healthy and read-only.  When a sharded index has
+        quarantined shards the status flips to ``"degraded"`` and a
+        ``shards`` section carries each degraded index's per-shard states —
+        still HTTP 200, because a degraded server keeps answering (with
+        ``partial`` results) and a load balancer should not eject it for a
+        recoverable shard fault.  When writable (dynamic) indexes are served
+        a ``writers`` section reports each one's write-path debt: WAL records
+        since the last checkpoint, buffered delta rows, and tombstones.
         """
         with self._registry_lock:
             entries = list(self._indexes.values())
         payload = {"status": "ok", "indexes": len(entries)}
         degraded = {}
+        writers = {}
         for entry in entries:
             if isinstance(entry.engine, ShardedIndex):
                 health = entry.engine.health_report()
                 if health["status"] != "ok":
                     degraded[entry.name] = health
+            elif isinstance(entry.engine, DynamicIndex):
+                writers[entry.name] = {
+                    "wal_depth": int(entry.engine.wal_depth),
+                    "delta_pending": int(entry.engine.delta_count),
+                    "tombstones": int(entry.engine.num_tombstones),
+                }
         if degraded:
             payload["status"] = "degraded"
             payload["shards"] = degraded
+        if writers:
+            payload["writers"] = writers
         return payload
 
     def stats(self) -> dict:
@@ -297,8 +397,22 @@ class SearchApp:
             payload[entry.name] = report
         return {"indexes": payload}
 
+    def metrics_text(self) -> str:
+        """The process-wide metrics registry in Prometheus text exposition."""
+        return get_registry().render()
+
+    def slow_queries(self) -> dict:
+        """The in-memory tail of the slow-query log (empty when disabled)."""
+        if self.slow_log is None:
+            return {"threshold_s": None, "logged": 0, "slow_queries": []}
+        return {
+            "threshold_s": self.config.slow_query_s,
+            "logged": self.slow_log.logged,
+            "slow_queries": self.slow_log.recent(),
+        }
+
     def knn(self, name: str, query, k: int = 1,
-            timeout_s: "float | None" = None) -> dict:
+            timeout_s: "float | None" = None, trace: bool = False) -> dict:
         """Answer one exact k-NN request against index ``name``.
 
         Validates and bounds the request (``k`` against
@@ -308,6 +422,13 @@ class SearchApp:
         returns a JSON-ready payload.  A budget expiry is a *well-formed
         answer* (``timed_out: true``, exact distances over what was refined),
         never an error.
+
+        ``trace=True`` (when :attr:`ServeConfig.tracing` allows it) records a
+        per-query span breakdown and attaches it to the payload under
+        ``"trace"``.  Traced requests bypass the micro-batcher — a coalesced
+        batch has no single-query phase structure — which never changes the
+        answer (``knn`` and ``knn_batch`` are bit-identical by contract),
+        only its latency profile.
         """
         entry = self._entry(name)
         k = validated_count(k)
@@ -316,14 +437,26 @@ class SearchApp:
                 f"k={k} exceeds this server's limit max_k={self.config.max_k}")
         timeout_s = self.config.clamp_timeout(timeout_s)
         query = validated_query(query, engine_series_length(entry.engine))
-        if entry.batcher is not None:
+        query_trace = Trace() if (trace and self.config.tracing) else None
+        if entry.batcher is not None and query_trace is None:
             result = entry.batcher.submit(query, k, timeout_s)
         else:
             result = entry.engine.knn(query, k=k,
                                       num_workers=self.config.num_workers,
-                                      timeout_s=timeout_s)
+                                      timeout_s=timeout_s, trace=query_trace)
         entry.search_stats.add(result.stats)
-        return self._result_payload(entry, k, result)
+        entry.observe_query(result.stats)
+        if self.slow_log is not None:
+            logged = self.slow_log.observe(
+                index=name, wall_time_s=result.stats.wall_time_s, k=k,
+                stats=result.stats, trace=query_trace)
+            if logged is not None:
+                entry._m_slow.inc()
+        payload = self._result_payload(entry, k, result)
+        if query_trace is not None:
+            payload["trace"] = query_trace.to_dict()
+            payload["wall_time_s"] = float(result.stats.wall_time_s)
+        return payload
 
     @staticmethod
     def _result_payload(entry: ServedIndex, k: int,

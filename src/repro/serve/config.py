@@ -57,6 +57,19 @@ class ServeConfig:
         connections, how long :meth:`~repro.serve.routes.IndexServer.stop`
         waits for in-flight requests (and the queued micro-batches behind
         them) to finish before closing the queues regardless.
+    slow_query_s:
+        Slow-query threshold: a ``/knn`` answer whose caller-observed wall
+        time exceeds this many seconds is recorded in the structured
+        slow-query log (one JSON line with the full span breakdown).
+        ``None`` (default) disables the log.
+    slow_query_log_path:
+        Where slow-query JSON lines are appended.  ``None`` keeps them only
+        in the in-memory ring (``SearchApp.slow_queries()``).
+    tracing:
+        Allow ``/knn`` requests to opt into per-query tracing
+        (``"trace": true`` in the request body); disabling it makes the flag
+        a no-op so a public deployment cannot be asked to pay the tracing
+        cost.  Slow-query logging is independent of this switch.
     """
 
     host: str = "127.0.0.1"
@@ -72,6 +85,9 @@ class ServeConfig:
     max_pending: "int | None" = 256
     retry_after_s: float = 1.0
     shutdown_drain_s: float = 5.0
+    slow_query_s: "float | None" = None
+    slow_query_log_path: "str | None" = None
+    tracing: bool = True
 
     def __post_init__(self) -> None:
         if self.max_k < 1:
@@ -103,6 +119,10 @@ class ServeConfig:
         if not self.shutdown_drain_s >= 0:
             raise InvalidParameterError(
                 f"shutdown_drain_s must be >= 0, got {self.shutdown_drain_s}")
+        if self.slow_query_s is not None and not self.slow_query_s > 0:
+            raise InvalidParameterError(
+                f"slow_query_s must be positive or None, "
+                f"got {self.slow_query_s}")
 
     def clamp_timeout(self, timeout_s: "float | None") -> "float | None":
         """Resolve a request's budget: default when absent, ceiling applied.

@@ -15,11 +15,16 @@ Method    Path                       App call
 GET       ``/healthz``               :meth:`~repro.serve.app.SearchApp.healthz`
 GET       ``/stats``                 :meth:`~repro.serve.app.SearchApp.stats`
 GET       ``/indexes``               :meth:`~repro.serve.app.SearchApp.list_indexes`
+GET       ``/metrics``               :meth:`~repro.serve.app.SearchApp.metrics_text`
+GET       ``/slow_queries``          :meth:`~repro.serve.app.SearchApp.slow_queries`
 POST      ``/{index}/knn``           :meth:`~repro.serve.app.SearchApp.knn`
 POST      ``/{index}/insert``        :meth:`~repro.serve.app.SearchApp.insert`
 POST      ``/{index}/delete``        :meth:`~repro.serve.app.SearchApp.delete`
 POST      ``/{index}/compact``       :meth:`~repro.serve.app.SearchApp.compact`
 ==========================================================================
+
+``/metrics`` is the one non-JSON route: it renders the process-wide metrics
+registry in the Prometheus text exposition format (version 0.0.4).
 """
 
 from __future__ import annotations
@@ -63,9 +68,13 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _respond(self, status: int, payload: dict,
                  headers: "dict[str, str] | None" = None) -> None:
-        body = json.dumps(payload).encode("utf-8")
+        self._respond_bytes(status, json.dumps(payload).encode("utf-8"),
+                            "application/json", headers)
+
+    def _respond_bytes(self, status: int, body: bytes, content_type: str,
+                       headers: "dict[str, str] | None" = None) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         for name, value in (headers or {}).items():
             self.send_header(name, value)
@@ -140,9 +149,16 @@ class _Handler(BaseHTTPRequestHandler):
                 self._respond(200, self.app.stats())
             elif path in ("/indexes", "/"):
                 self._respond(200, self.app.list_indexes())
+            elif path == "/metrics":
+                self._respond_bytes(
+                    200, self.app.metrics_text().encode("utf-8"),
+                    "text/plain; version=0.0.4; charset=utf-8")
+            elif path == "/slow_queries":
+                self._respond(200, self.app.slow_queries())
             else:
                 self._not_found(f"no GET route {path!r}; "
-                                f"try /healthz, /stats or /indexes")
+                                f"try /healthz, /stats, /indexes, /metrics "
+                                f"or /slow_queries")
         except Exception as error:  # noqa: BLE001 - rendered via status map
             self._respond_error(error)
 
@@ -166,7 +182,8 @@ class _Handler(BaseHTTPRequestHandler):
             if action == "knn":
                 payload = self.app.knn(name, body.get("query"),
                                        k=body.get("k", 1),
-                                       timeout_s=body.get("timeout_s"))
+                                       timeout_s=body.get("timeout_s"),
+                                       trace=bool(body.get("trace", False)))
             elif action == "insert":
                 payload = self.app.insert(name, body.get("series"))
             elif action == "delete":

@@ -1,0 +1,239 @@
+"""The metrics registry: semantics, thread-safety, Prometheus exposition."""
+
+from __future__ import annotations
+
+import math
+import threading
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    MetricsRegistry,
+    get_registry,
+)
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse Prometheus text format 0.0.4 into ``{series: value}`` plus meta.
+
+    A strict-enough parser for the tests: every non-comment line must be
+    ``name{labels} value`` or ``name value``, every samples block must be
+    preceded by its ``# HELP``/``# TYPE`` pair, and histogram buckets must
+    be cumulative and end with ``+Inf``.
+    """
+    samples: "dict[str, float]" = {}
+    meta: "dict[str, tuple[str, str]]" = {}
+    pending_help: "dict[str, str]" = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            _, _, rest = line.partition("# HELP ")
+            name, _, help_text = rest.partition(" ")
+            pending_help[name] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, metric_type = rest.partition(" ")
+            assert name in pending_help, f"TYPE before HELP for {name}"
+            assert metric_type in ("counter", "gauge", "histogram")
+            meta[name] = (metric_type, pending_help[name])
+            continue
+        assert not line.startswith("#"), f"unexpected comment: {line!r}"
+        series, _, value = line.rpartition(" ")
+        assert series, f"malformed sample line: {line!r}"
+        base = series.split("{", 1)[0]
+        family = base
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[: -len(suffix)] in meta:
+                family = base[: -len(suffix)]
+        assert family in meta, f"sample {series!r} has no TYPE metadata"
+        samples[series] = float(value)
+    return {"samples": samples, "meta": meta}
+
+
+class TestCounter:
+    def test_counts_and_sums_across_threads(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t_total", "help")
+        threads = [threading.Thread(
+            target=lambda: [counter.inc() for _ in range(1000)])
+            for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value() == 8000
+
+    def test_negative_increment_raises(self):
+        registry = MetricsRegistry()
+        with pytest.raises(InvalidParameterError, match="monotonic"):
+            registry.counter("t_total", "help").inc(-1)
+
+    def test_labelled_children_are_independent(self):
+        registry = MetricsRegistry()
+        family = registry.counter("t_total", "help", labelnames=("op",))
+        family.labels(op="a").inc(2)
+        family.labels(op="b").inc(3)
+        assert family.labels(op="a").value() == 2
+        assert family.labels(op="b").value() == 3
+
+    def test_wrong_labels_raise(self):
+        registry = MetricsRegistry()
+        family = registry.counter("t_total", "help", labelnames=("op",))
+        with pytest.raises(InvalidParameterError, match="takes labels"):
+            family.labels(shard="0")
+        with pytest.raises(InvalidParameterError, match="use .labels"):
+            family.inc()
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("t", "help")
+        gauge.set(5.0)
+        gauge.inc(2.0)
+        gauge.dec(3.0)
+        assert gauge.value() == 4.0
+
+    def test_callback_gauge_computes_at_read(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("t", "help")
+        state = {"v": 1}
+        gauge.set_function(lambda: state["v"])
+        assert gauge.value() == 1.0
+        state["v"] = 7
+        assert gauge.value() == 7.0
+
+    def test_dead_callback_renders_nan_not_crash(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("t", "help")
+        gauge.set_function(lambda: 1 / 0)
+        assert math.isnan(gauge.value())
+        assert "t" in registry.render()
+
+
+class TestHistogram:
+    def test_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t", "help", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            histogram.observe(value)
+        counts, total, count = histogram.snapshot()
+        assert counts == [1, 2, 1]  # per-bucket, not yet cumulative
+        assert count == 4
+        assert total == pytest.approx(6.05)
+        parsed = parse_exposition(registry.render())
+        assert parsed["samples"]['t_bucket{le="0.1"}'] == 1
+        assert parsed["samples"]['t_bucket{le="1"}'] == 3
+        assert parsed["samples"]['t_bucket{le="+Inf"}'] == 4
+        assert parsed["samples"]["t_count"] == 4
+
+    def test_boundary_lands_in_its_bucket(self):
+        """An observation equal to an upper bound belongs to that bucket."""
+        registry = MetricsRegistry()
+        histogram = registry.histogram("t", "help", buckets=(1.0, 2.0))
+        histogram.observe(1.0)
+        assert histogram.snapshot()[0] == [1, 0, 0]
+
+    def test_default_buckets_cover_query_latencies(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 5.0
+        assert list(DEFAULT_LATENCY_BUCKETS) == sorted(DEFAULT_LATENCY_BUCKETS)
+
+
+class TestRegistry:
+    def test_redeclaring_same_family_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("t_total", "help", labelnames=("op",))
+        second = registry.counter("t_total", "other help", labelnames=("op",))
+        assert first is second
+
+    def test_conflicting_redeclaration_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("t_total", "help")
+        with pytest.raises(InvalidParameterError, match="already registered"):
+            registry.gauge("t_total", "help")
+        with pytest.raises(InvalidParameterError, match="already registered"):
+            registry.counter("t_total", "help", labelnames=("op",))
+
+    def test_invalid_names_raise(self):
+        registry = MetricsRegistry()
+        for bad in ("", "0abc", "a-b", "a b", "a{b}"):
+            with pytest.raises(InvalidParameterError, match="invalid metric"):
+                registry.counter(bad, "help")
+
+    def test_kill_switch_stops_writes(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t_total", "help")
+        histogram = registry.histogram("h", "help", buckets=(1.0,))
+        counter.inc()
+        registry.set_enabled(False)
+        counter.inc(100)
+        histogram.observe(0.5)
+        assert counter.value() == 1
+        assert histogram.value() == 0
+        registry.set_enabled(True)
+        counter.inc()
+        assert counter.value() == 2
+
+    def test_reset_zeroes_everything(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("t_total", "help")
+        counter.inc(5)
+        registry.reset()
+        assert counter.value() == 0
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.counter("t_total", "help", labelnames=("name",))
+        family.labels(name='we"ird\\x\n').inc()
+        rendered = registry.render()
+        assert '\\"' in rendered and "\\\\" in rendered and "\\n" in rendered
+
+    def test_render_is_parseable_and_typed(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "counts").inc(3)
+        registry.gauge("g", "gauges").set(1.5)
+        registry.histogram("h", "times", buckets=(0.5,)).observe(0.1)
+        parsed = parse_exposition(registry.render())
+        assert parsed["meta"]["c_total"] == ("counter", "counts")
+        assert parsed["meta"]["g"] == ("gauge", "gauges")
+        assert parsed["meta"]["h"] == ("histogram", "times")
+        assert parsed["samples"]["c_total"] == 3
+        assert parsed["samples"]["g"] == 1.5
+
+    def test_default_registry_is_shared_and_enabled(self):
+        assert get_registry() is get_registry()
+        assert get_registry().enabled
+
+
+class TestConcurrency:
+    def test_render_during_concurrent_writes(self):
+        """A scrape racing writers must never crash or go backwards."""
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help")
+        histogram = registry.histogram("h", "help", buckets=(0.5,))
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                counter.inc()
+                histogram.observe(0.1)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        last = -1.0
+        try:
+            for _ in range(50):
+                parsed = parse_exposition(registry.render())
+                value = parsed["samples"]["c_total"]
+                assert value >= last, "counter went backwards across scrapes"
+                last = value
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()

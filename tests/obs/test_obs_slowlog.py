@@ -1,0 +1,109 @@
+"""The structured slow-query log: threshold, entry shape, file sink, ring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.errors import InvalidParameterError
+from repro.index.search import SearchStats
+from repro.obs.slowlog import SlowQueryLog
+from repro.obs.trace import Trace
+
+
+def make_stats(**overrides) -> SearchStats:
+    stats = SearchStats()
+    stats.leaves_visited = 7
+    stats.series_lower_bounds = 120
+    stats.exact_distances = 40
+    stats.wall_time_s = 0.5
+    for name, value in overrides.items():
+        setattr(stats, name, value)
+    return stats
+
+
+class TestThreshold:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(InvalidParameterError, match="threshold"):
+            SlowQueryLog(0.0)
+        with pytest.raises(InvalidParameterError, match="threshold"):
+            SlowQueryLog(-1.0)
+        with pytest.raises(InvalidParameterError, match="capacity"):
+            SlowQueryLog(1.0, capacity=0)
+
+    def test_fast_queries_are_not_logged(self):
+        log = SlowQueryLog(0.1)
+        assert log.observe(index="i", wall_time_s=0.05, k=1) is None
+        assert log.logged == 0
+        assert log.recent() == []
+
+    def test_threshold_is_inclusive(self):
+        log = SlowQueryLog(0.1)
+        assert log.observe(index="i", wall_time_s=0.1, k=1) is not None
+        assert log.logged == 1
+
+
+class TestEntryShape:
+    def test_minimal_entry(self):
+        log = SlowQueryLog(0.1)
+        entry = log.observe(index="lendb", wall_time_s=0.25, k=5)
+        assert entry["index"] == "lendb"
+        assert entry["k"] == 5
+        assert entry["wall_time_s"] == 0.25
+        assert "ts" in entry
+        assert "breakdown" not in entry and "phases" not in entry
+
+    def test_stats_add_breakdown_and_work(self):
+        log = SlowQueryLog(0.1)
+        entry = log.observe(index="i", wall_time_s=0.5, k=1,
+                            stats=make_stats())
+        assert entry["timed_out"] is False
+        assert entry["work"] == {"leaves_visited": 7,
+                                 "series_lower_bounds": 120,
+                                 "exact_distances": 40}
+        assert set(entry["breakdown"]) == {"approximate_s", "traversal_s",
+                                           "refinement_s", "engine_wall_s"}
+
+    def test_trace_adds_phases_and_spans(self):
+        trace = Trace()
+        trace.add_phase("traversal", 0.2, leaves=3)
+        trace.add_detail("heap", 0.0, offers=9)
+        log = SlowQueryLog(0.1)
+        entry = log.observe(index="i", wall_time_s=0.5, k=1, trace=trace)
+        assert entry["phases"] == {"traversal": 0.2}
+        assert [span["name"] for span in entry["spans"]] == ["traversal",
+                                                             "heap"]
+
+    def test_entry_is_json_serializable(self):
+        log = SlowQueryLog(0.1)
+        entry = log.observe(index="i", wall_time_s=0.5, k=1,
+                            stats=make_stats(), trace=Trace())
+        json.dumps(entry)
+
+
+class TestSinks:
+    def test_file_sink_appends_one_json_line_per_entry(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(0.1, path=path)
+        log.observe(index="a", wall_time_s=0.2, k=1)
+        log.observe(index="b", wall_time_s=0.3, k=2, stats=make_stats())
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        parsed = [json.loads(line) for line in lines]
+        assert [entry["index"] for entry in parsed] == ["a", "b"]
+        assert parsed[1]["work"]["exact_distances"] == 40
+
+    def test_unwritable_path_never_fails_the_query(self, tmp_path):
+        log = SlowQueryLog(0.1, path=tmp_path / "missing-dir" / "slow.jsonl")
+        entry = log.observe(index="i", wall_time_s=0.5, k=1)
+        assert entry is not None
+        assert log.logged == 1  # in-memory ring still works
+
+    def test_ring_is_bounded_but_counter_is_total(self):
+        log = SlowQueryLog(0.1, capacity=3)
+        for position in range(10):
+            log.observe(index=f"i{position}", wall_time_s=0.2, k=1)
+        assert log.logged == 10
+        recent = log.recent()
+        assert [entry["index"] for entry in recent] == ["i7", "i8", "i9"]

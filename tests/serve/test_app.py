@@ -70,7 +70,12 @@ class TestRegistry:
             app.add_index("a/b", static_index)
 
     def test_healthz(self, app):
-        assert app.healthz() == {"status": "ok", "indexes": 2}
+        payload = app.healthz()
+        assert payload["status"] == "ok"
+        assert payload["indexes"] == 2
+        # The writable index reports its write-path debt.
+        assert payload["writers"] == {
+            "live": {"wal_depth": 0, "delta_pending": 0, "tombstones": 0}}
 
 
 class TestKnn:

@@ -12,7 +12,10 @@ class TestGetRoutes:
     def test_healthz(self, client):
         status, body = client.get("/healthz")
         assert status == 200
-        assert body == {"status": "ok", "indexes": 2}
+        assert body["status"] == "ok"
+        assert body["indexes"] == 2
+        assert body["writers"] == {
+            "live": {"wal_depth": 0, "delta_pending": 0, "tombstones": 0}}
 
     def test_indexes(self, client):
         status, body = client.get("/indexes")
