@@ -1,0 +1,137 @@
+"""Process-isolated shards surviving ``kill -9`` mid-storm.
+
+Four shard worker processes under a :class:`repro.cluster.ShardSupervisor`,
+a coordinator answering queries through them, and one worker murdered with
+``SIGKILL`` while a query storm is running.  Watch the full recovery loop:
+
+1. **launch** — `ClusterIndex.launch` spawns one supervised worker per
+   shard and proves the healthy cluster is bit-identical to the in-process
+   :class:`~repro.index.sharded.ShardedIndex` over the same snapshot,
+2. **kill -9** — a worker dies mid-storm; every in-flight and subsequent
+   query still answers (typed, never a raw socket error), degraded to the
+   three survivors with ``partial=True`` and ``coverage == 3/4``,
+3. **recover** — the supervisor restarts the worker with deterministic
+   backoff, the coordinator's probe loop readmits the shard over RPC, the
+   restart ladder resets, and coverage returns to ``1.0``.
+
+Run with::
+
+    python examples/cluster_kill9.py
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import shutil
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster import ClusterIndex, SupervisorPolicy
+from repro.datasets.synthetic import random_walk
+from repro.index.shard_health import HealthPolicy, RetryPolicy
+from repro.index.sharded import ShardedIndex
+from repro.index.sofa import SofaIndex
+
+NUM_SERIES = 400
+SERIES_LENGTH = 96
+NUM_SHARDS = 4
+K = 5
+VICTIM = 2
+
+
+def factory() -> SofaIndex:
+    return SofaIndex(word_length=8, alphabet_size=64, leaf_size=32)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-cluster-"))
+    rows = random_walk(NUM_SERIES, SERIES_LENGTH, seed=31337)
+    queries = random_walk(16, SERIES_LENGTH, seed=31338)
+
+    print(f"== building a {NUM_SHARDS}-shard snapshot under {workdir}")
+    inproc = ShardedIndex.build(rows, workdir / "shards",
+                                num_shards=NUM_SHARDS, index_factory=factory)
+
+    print("== launching one supervised worker process per shard")
+    cluster = ClusterIndex.launch(
+        workdir / "shards",
+        retry=RetryPolicy(max_attempts=2, backoff_base_s=0.005,
+                          backoff_cap_s=0.05),
+        health=HealthPolicy(quarantine_after=2, probe_interval_s=0.25),
+        policy=SupervisorPolicy(restart_base_s=0.05, restart_cap_s=0.5,
+                                heartbeat_interval_s=0.1))
+    try:
+        for entry in cluster.supervisor.report():
+            print(f"   shard {entry['shard']}: pid {entry['pid']} "
+                  f"at {entry['endpoint'][0]}:{entry['endpoint'][1]}")
+
+        reference = inproc.knn(queries[0], k=K)
+        remote = cluster.knn(queries[0], k=K)
+        assert np.array_equal(reference.indices, remote.indices)
+        assert np.array_equal(reference.distances, remote.distances)
+        print(f"== healthy cluster is bit-identical to the in-process "
+              f"index (k={K}: ids {remote.indices.tolist()})")
+
+        print(f"\n== storm running; kill -9 on shard {VICTIM}'s worker")
+        stop = threading.Event()
+        counts = {"complete": 0, "partial": 0, "errors": 0}
+        lock = threading.Lock()
+
+        def storm(offset: int) -> None:
+            step = offset
+            while not stop.is_set():
+                try:
+                    result = cluster.knn(queries[step % len(queries)], k=K,
+                                         timeout_s=10.0)
+                    key = "partial" if result.stats.partial else "complete"
+                except Exception:  # noqa: BLE001 — counted, would be a bug
+                    key = "errors"
+                with lock:
+                    counts[key] += 1
+                step += 1
+
+        threads = [threading.Thread(target=storm, args=(i,), daemon=True)
+                   for i in range(4)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.5)
+        victim_pid = cluster.supervisor.report()[VICTIM]["pid"]
+        os.kill(victim_pid, signal.SIGKILL)
+        print(f"   SIGKILL sent to pid {victim_pid}")
+
+        deadline = time.monotonic() + 60.0
+        readmitted = False
+        while time.monotonic() < deadline and not readmitted:
+            time.sleep(0.25)
+            probe = cluster.knn(queries[0], k=K, timeout_s=10.0)
+            readmitted = not probe.stats.partial \
+                and cluster.shard_states() == ["healthy"] * NUM_SHARDS
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+        report = cluster.supervisor.report()[VICTIM]
+        print(f"   storm answers: {counts['complete']} complete, "
+              f"{counts['partial']} degraded, {counts['errors']} errors")
+        assert counts["errors"] == 0, "kill -9 must never surface untyped"
+        assert readmitted, "worker was not readmitted in time"
+        print(f"== shard {VICTIM} restarted (new pid {report['pid']}) and "
+              f"readmitted; restart ladder reset to {report['restarts']}")
+
+        final = cluster.knn(queries[0], k=K, timeout_s=10.0)
+        assert np.array_equal(final.indices, reference.indices)
+        print(f"== coverage back to {final.stats.coverage:.2f}; answers "
+              f"bit-identical again")
+    finally:
+        cluster.close()
+        inproc.close()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

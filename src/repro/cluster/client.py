@@ -1,0 +1,139 @@
+"""HTTP client for one shard worker: the remote half of the scatter.
+
+:class:`RemoteShardClient` speaks the worker-mode RPC routes of
+:mod:`repro.serve` (``/{index}/shard_knn``, ``shard_knn_batch``,
+``shard_probe``, ``/readyz``) over plain ``http.client`` — one short-lived
+connection per call, so a worker restart (new process, new ephemeral port)
+needs no connection-state repair: the next call simply resolves the new
+endpoint.
+
+Failure translation mirrors the in-process shard boundary:
+
+* transport failures (refused, reset, timeout — what a ``kill -9``'d worker
+  produces) raise as-is; the scatter's retry loop classifies them transient,
+* a worker answering with a typed ``CorruptionError`` payload re-raises as
+  :class:`~repro.core.errors.CorruptionError`, so the persistent-failure
+  path (immediate quarantine, reload before readmission) fires exactly as it
+  would in process,
+* any other typed error payload becomes a transient
+  :class:`~repro.core.errors.ShardError` naming the shard and the worker's
+  verdict.
+
+Queries and values travel as JSON numbers.  Python's ``repr`` emits the
+shortest string that round-trips the float64 bit pattern and ``json`` parses
+back to the same bits, so the coordinator's canonical merge over
+RPC-returned values is bit-identical to the in-process merge.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+
+from repro.core.errors import CorruptionError, ShardError
+
+#: Socket-level slack on top of the engine's search budget: a worker that
+#: answers exactly at its deadline still needs transport time to deliver.
+_TRANSPORT_GRACE_S = 0.25
+
+
+class RemoteShardClient:
+    """Per-shard RPC client; the engine-side of one cluster shard.
+
+    ``resolve`` is a zero-argument callable returning the worker's current
+    ``(host, port)`` or ``None`` — normally the supervisor's endpoint
+    registry, so a restarted worker is re-resolved on the next call without
+    any coordination.
+    """
+
+    def __init__(self, shard: int, resolve, *, index_name: str = "shard",
+                 default_timeout_s: float = 30.0) -> None:
+        self.shard = int(shard)
+        self._resolve = resolve
+        self._index_name = index_name
+        self._default_timeout_s = float(default_timeout_s)
+
+    # ------------------------------------------------------------ transport
+
+    def _request(self, method: str, path: str, body: "dict | None",
+                 timeout_s: "float | None") -> "tuple[int, dict]":
+        endpoint = self._resolve()
+        if endpoint is None:
+            raise ShardError(
+                f"shard {self.shard} has no live worker endpoint "
+                f"(worker down or restarting)")
+        host, port = endpoint
+        if timeout_s is None:
+            timeout_s = self._default_timeout_s
+        connection = HTTPConnection(host, port,
+                                    timeout=timeout_s + _TRANSPORT_GRACE_S)
+        try:
+            payload = json.dumps(body).encode("utf-8") if body is not None \
+                else None
+            headers = {"Content-Type": "application/json"} \
+                if payload is not None else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            status = response.status
+        finally:
+            connection.close()
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ShardError(
+                f"shard {self.shard} worker sent an unparseable response "
+                f"({error})") from None
+        return status, decoded
+
+    def _rpc(self, action: str, body: dict,
+             timeout_s: "float | None") -> dict:
+        status, payload = self._request(
+            "POST", f"/{self._index_name}/{action}", body, timeout_s)
+        if status == 200:
+            return payload
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        error_type = error.get("type", "HTTPError")
+        message = error.get("message", f"HTTP {status}")
+        if error_type == "CorruptionError":
+            # Persistent: the worker's snapshot is damaged.  Re-raising the
+            # same type routes the coordinator into immediate quarantine +
+            # reload-before-readmission, exactly like an in-process shard.
+            raise CorruptionError(
+                f"shard {self.shard} worker: {message}")
+        raise ShardError(
+            f"shard {self.shard} worker answered {status} "
+            f"({error_type}): {message}")
+
+    # ----------------------------------------------------------------- RPCs
+
+    def knn_once(self, query, k: int, timeout_s: "float | None",
+                 threshold: "float | None") -> dict:
+        """One scatter attempt: shard-local ids, values, squared, stats."""
+        return self._rpc("shard_knn", {
+            "query": [float(value) for value in query],
+            "k": int(k),
+            "timeout_s": timeout_s,
+            "threshold": threshold,
+        }, timeout_s)
+
+    def knn_batch_once(self, matrix, k: int,
+                       timeout_s: "float | None") -> dict:
+        """One batched scatter attempt over all queries at once."""
+        return self._rpc("shard_knn_batch", {
+            "queries": [[float(value) for value in row] for row in matrix],
+            "k": int(k),
+            "timeout_s": timeout_s,
+        }, timeout_s)
+
+    def probe(self, timeout_s: "float | None" = None) -> dict:
+        """The readmission probe: a real shard-local 1-NN on the worker."""
+        return self._rpc("shard_probe", {}, timeout_s)
+
+    def ready(self, timeout_s: "float | None" = None) -> bool:
+        """``GET /readyz`` — ``True`` iff the worker answers 200."""
+        try:
+            status, _ = self._request("GET", "/readyz", None, timeout_s)
+        except (OSError, ShardError):
+            return False
+        return status == 200

@@ -141,3 +141,16 @@ class CorruptionError(IndexError_):
 
 class WalError(IndexError_):
     """Raised for write-ahead-log misuse or unreadable log state."""
+
+
+class StorageFullError(ReproError):
+    """Raised when a durable effect fails because the volume is out of space.
+
+    Translated at the :mod:`repro.core.fsio` seam from ``ENOSPC`` / ``EDQUOT``
+    so the WAL and the snapshot commit protocols surface one typed error
+    instead of a raw :class:`OSError`.  The contract on this error is
+    *old-or-new*: the on-disk state is either the pre-write state or the
+    committed new one (a WAL append that hits it truncates its own torn tail
+    before re-raising), so the caller can retry after freeing space without a
+    repair step.  The HTTP layer renders it as 507 (Insufficient Storage).
+    """

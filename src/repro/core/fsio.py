@@ -27,12 +27,20 @@ happen — the state a crash immediately before that effect would leave.
 
 from __future__ import annotations
 
+import errno
 import os
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable
 
+from repro.core.errors import StorageFullError
+
 #: The installed fault-injection hook, or ``None`` (the production state).
 _hook: "Callable[[str, str], None] | None" = None
+
+#: ``errno`` values that mean "the volume has no room", translated to the
+#: typed :class:`~repro.core.errors.StorageFullError` at this seam.
+_FULL_ERRNOS = frozenset({errno.ENOSPC, errno.EDQUOT})
 
 
 def set_hook(hook: "Callable[[str, str], None] | None"):
@@ -54,63 +62,83 @@ def _enter(operation: str, path: "str | os.PathLike") -> None:
         _hook(operation, str(path))
 
 
+@contextmanager
+def _effect(operation: str, path: "str | os.PathLike"):
+    """Announce an effect to the hook, then translate disk-full failures.
+
+    The hook call sits *inside* the translation so a test hook raising
+    ``OSError(ENOSPC)`` exercises exactly the path a real full volume takes.
+    Every other ``OSError`` (and the harness's ``SimulatedCrash``) passes
+    through unchanged.
+    """
+    try:
+        _enter(operation, path)
+        yield
+    except OSError as error:
+        if error.errno in _FULL_ERRNOS:
+            raise StorageFullError(
+                f"no space left on device while trying to {operation} "
+                f"{path}: {error}") from error
+        raise
+
+
 # ------------------------------------------------------------------ effects
 
 
 def write_bytes(path: "str | os.PathLike", data: bytes) -> None:
     """Create (or truncate) ``path`` and write ``data`` in one call."""
-    _enter("write", path)
-    with open(path, "wb") as handle:
-        handle.write(data)
+    with _effect("write", path):
+        with open(path, "wb") as handle:
+            handle.write(data)
 
 
 def fsync_path(path: "str | os.PathLike") -> None:
     """Flush a file's contents to stable storage (open-by-name fsync)."""
-    _enter("fsync", path)
-    fd = os.open(path, os.O_RDONLY)
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
+    with _effect("fsync", path):
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
 
 def fsync_dir(path: "str | os.PathLike") -> None:
     """Make the directory's entries (creations, renames) durable."""
-    _enter("fsync_dir", path)
-    fd = os.open(path, os.O_RDONLY)
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
+    with _effect("fsync_dir", path):
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
 
 
 def rename(source: "str | os.PathLike", destination: "str | os.PathLike") -> None:
     """Atomically move ``source`` over ``destination`` (``os.replace``)."""
-    _enter("rename", destination)
-    os.replace(source, destination)
+    with _effect("rename", destination):
+        os.replace(source, destination)
 
 
 def unlink(path: "str | os.PathLike") -> None:
     """Remove a file (missing files are ignored: cleanup is idempotent)."""
-    _enter("unlink", path)
-    try:
-        os.unlink(path)
-    except FileNotFoundError:
-        pass
+    with _effect("unlink", path):
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
 
 
 def mkdir(path: "str | os.PathLike") -> None:
     """Create a directory (existing directories are fine)."""
-    _enter("mkdir", path)
-    Path(path).mkdir(parents=True, exist_ok=True)
+    with _effect("mkdir", path):
+        Path(path).mkdir(parents=True, exist_ok=True)
 
 
 def rmtree(path: "str | os.PathLike") -> None:
     """Recursively remove a directory tree (missing trees are ignored)."""
-    _enter("rmtree", path)
-    import shutil
+    with _effect("rmtree", path):
+        import shutil
 
-    shutil.rmtree(path, ignore_errors=True)
+        shutil.rmtree(path, ignore_errors=True)
 
 
 # ------------------------------------------------- append streams (the WAL)
@@ -123,20 +151,20 @@ def append_bytes(handle, data: bytes) -> None:
     *process* crash immediately); only :func:`fsync_handle` makes them survive
     a power failure — which is what the WAL's fsync policies trade off.
     """
-    _enter("append", getattr(handle, "name", "<handle>"))
-    handle.write(data)
-    handle.flush()
+    with _effect("append", getattr(handle, "name", "<handle>")):
+        handle.write(data)
+        handle.flush()
 
 
 def fsync_handle(handle) -> None:
     """Flush an open handle's contents to stable storage."""
-    _enter("fsync", getattr(handle, "name", "<handle>"))
-    handle.flush()
-    os.fsync(handle.fileno())
+    with _effect("fsync", getattr(handle, "name", "<handle>")):
+        handle.flush()
+        os.fsync(handle.fileno())
 
 
 def truncate_handle(handle, size: int) -> None:
     """Truncate an open handle to ``size`` bytes (drops a torn tail record)."""
-    _enter("truncate", getattr(handle, "name", "<handle>"))
-    handle.truncate(size)
-    handle.flush()
+    with _effect("truncate", getattr(handle, "name", "<handle>")):
+        handle.truncate(size)
+        handle.flush()

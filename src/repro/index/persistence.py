@@ -88,7 +88,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import fsio
-from repro.core.errors import CorruptionError, IndexError_, InvalidParameterError
+from repro.core.errors import (
+    CorruptionError,
+    IndexError_,
+    InvalidParameterError,
+    StorageFullError,
+)
 from repro.core.series import Dataset
 from repro.index.messi import MessiIndex
 from repro.index.node import InnerNode, LeafNode
@@ -305,19 +310,33 @@ def _commit_fresh(path: Path, files: dict[str, bytes],
     staging = path.parent / f".{path.name}.saving"
     fsio.rmtree(staging)
     fsio.mkdir(staging)
-    for filename, data in files.items():
-        fsio.write_bytes(staging / filename, data)
-        fsio.fsync_path(staging / filename)
-    fsio.write_bytes(staging / MANIFEST_NAME, _manifest_bytes(manifest))
-    fsio.fsync_path(staging / MANIFEST_NAME)
-    fsio.fsync_dir(staging)
-    if path.exists():
-        # Validated empty by _existing_snapshot_manifest; clear the husk so
-        # the rename lands.  A crash in between leaves no snapshot plus a
-        # complete staging dir — the "old" state was no snapshot either way.
-        fsio.rmtree(path)
-    fsio.rename(staging, path)
-    fsio.fsync_dir(path.parent)
+    try:
+        for filename, data in files.items():
+            fsio.write_bytes(staging / filename, data)
+            fsio.fsync_path(staging / filename)
+        fsio.write_bytes(staging / MANIFEST_NAME, _manifest_bytes(manifest))
+        fsio.fsync_path(staging / MANIFEST_NAME)
+        fsio.fsync_dir(staging)
+    except StorageFullError:
+        # Nothing committed yet — reclaim the staging bytes so the caller
+        # can retry once space is freed, instead of holding the volume full.
+        fsio.rmtree(staging)
+        raise
+    try:
+        if path.exists():
+            # Validated empty by _existing_snapshot_manifest; clear the husk
+            # so the rename lands.  A crash in between leaves no snapshot
+            # plus a complete staging dir — the "old" state was no snapshot
+            # either way.
+            fsio.rmtree(path)
+        fsio.rename(staging, path)
+        fsio.fsync_dir(path.parent)
+    except StorageFullError:
+        # Some filesystems report a full volume from the rename itself (new
+        # directory entry).  After a successful rename the rmtree is a no-op;
+        # before it, it reclaims the staging bytes — old-or-new either way.
+        fsio.rmtree(staging)
+        raise
 
 
 def _commit_in_place(path: Path, files: dict[str, bytes], manifest: dict,
@@ -330,13 +349,31 @@ def _commit_in_place(path: Path, files: dict[str, bytes], manifest: dict,
     (their inodes stay alive for already-open mmaps).
     """
     stamp_manifest_checksum(manifest)
-    for filename, data in files.items():
-        fsio.write_bytes(path / filename, data)
-        fsio.fsync_path(path / filename)
     temporary = path / (MANIFEST_NAME + ".tmp")
-    fsio.write_bytes(temporary, _manifest_bytes(manifest))
-    fsio.fsync_path(temporary)
-    fsio.rename(temporary, path / MANIFEST_NAME)
+    try:
+        for filename, data in files.items():
+            fsio.write_bytes(path / filename, data)
+            fsio.fsync_path(path / filename)
+        fsio.write_bytes(temporary, _manifest_bytes(manifest))
+        fsio.fsync_path(temporary)
+    except StorageFullError:
+        # The committed manifest still references only the old generation's
+        # payloads; unlink the uncommitted generation files (all written
+        # under generation-suffixed names) to give the space back.
+        for filename in files:
+            fsio.unlink(path / filename)
+        fsio.unlink(temporary)
+        raise
+    try:
+        fsio.rename(temporary, path / MANIFEST_NAME)
+    except StorageFullError:
+        # The rename itself can report a full volume (new directory entry);
+        # the old manifest is still the committed one, so drop the
+        # uncommitted generation exactly as above.
+        for filename in files:
+            fsio.unlink(path / filename)
+        fsio.unlink(temporary)
+        raise
     fsio.fsync_dir(path)
     referenced = set(files) | {MANIFEST_NAME}
     for entry in sorted(path.iterdir()):

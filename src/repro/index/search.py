@@ -345,6 +345,79 @@ class SharedKnnHeap:
             return self._heap.sorted_items()
 
 
+class FixedThreshold:
+    """A frozen external best-so-far: prune against it, never feed it back.
+
+    The process-per-shard cluster (:mod:`repro.cluster`) forwards the
+    coordinator's shared threshold *by value* in each shard RPC; the worker
+    passes this object as ``shared_best`` so its search prunes against the
+    cross-shard bound exactly like an in-process shard would.  A frozen
+    bound is admissible for the same reason a stale
+    :class:`SharedKnnHeap.threshold` read is: the live threshold only ever
+    tightens, so the forwarded value is merely looser — candidates are over-
+    retained, never dropped, and the coordinator's canonical merge settles
+    the final order.  Offers are discarded (the worker's own heap already
+    tracks them); the coordinator offers the returned candidates to its live
+    heap after the RPC returns.
+    """
+
+    __slots__ = ("threshold",)
+
+    def __init__(self, threshold: float) -> None:
+        self.threshold = float(threshold)
+
+    def offer_block(self, squared: np.ndarray, rows: np.ndarray) -> None:
+        pass
+
+
+def stats_to_payload(stats: SearchStats) -> dict:
+    """JSON-ready dict of one :class:`SearchStats` (the shard RPC wire form).
+
+    Round-trips exactly through :func:`stats_from_payload`: counters are
+    ints, timings floats (JSON preserves float64 bit patterns via shortest
+    round-trip repr), ``leaf_times`` the full per-work-item list — so merged
+    cluster stats equal the in-process scatter's merged stats.
+    """
+    return {
+        "num_series": int(stats.num_series),
+        "num_workers": int(stats.num_workers),
+        "leaves_visited": int(stats.leaves_visited),
+        "leaves_pruned_in_queue": int(stats.leaves_pruned_in_queue),
+        "nodes_pruned": int(stats.nodes_pruned),
+        "series_lower_bounds": int(stats.series_lower_bounds),
+        "exact_distances": int(stats.exact_distances),
+        "approximate_time": float(stats.approximate_time),
+        "traversal_time": float(stats.traversal_time),
+        "leaf_times": [float(value) for value in stats.leaf_times],
+        "timed_out": bool(stats.timed_out),
+        "shards_total": int(stats.shards_total),
+        "shards_answered": int(stats.shards_answered),
+        "partial": bool(stats.partial),
+        "wall_time_s": float(stats.wall_time_s),
+    }
+
+
+def stats_from_payload(payload: dict) -> SearchStats:
+    """Rebuild a :class:`SearchStats` from :func:`stats_to_payload` output."""
+    return SearchStats(
+        num_series=int(payload.get("num_series", 0)),
+        num_workers=int(payload.get("num_workers", 1)),
+        leaves_visited=int(payload.get("leaves_visited", 0)),
+        leaves_pruned_in_queue=int(payload.get("leaves_pruned_in_queue", 0)),
+        nodes_pruned=int(payload.get("nodes_pruned", 0)),
+        series_lower_bounds=int(payload.get("series_lower_bounds", 0)),
+        exact_distances=int(payload.get("exact_distances", 0)),
+        approximate_time=float(payload.get("approximate_time", 0.0)),
+        traversal_time=float(payload.get("traversal_time", 0.0)),
+        leaf_times=[float(value) for value in payload.get("leaf_times", [])],
+        timed_out=bool(payload.get("timed_out", False)),
+        shards_total=int(payload.get("shards_total", 0)),
+        shards_answered=int(payload.get("shards_answered", 0)),
+        partial=bool(payload.get("partial", False)),
+        wall_time_s=float(payload.get("wall_time_s", 0.0)),
+    )
+
+
 class _TandemHeap:
     """A query-local heap coupled to an external (cross-shard) best-so-far.
 

@@ -97,6 +97,139 @@ class RetryPolicy:
 
 
 @dataclass(frozen=True)
+class SupervisorPolicy:
+    """How a :class:`~repro.cluster.supervisor.ShardSupervisor` restarts.
+
+    Restart delays follow the same deterministic capped-exponential scheme as
+    :class:`RetryPolicy` — the delay before restart ``restart`` (0-based) of a
+    crashed worker is
+
+    ``min(restart_cap_s, restart_base_s * 2**restart) * (1 + jitter * u)``
+
+    with ``u ∈ [0, 1)`` a pure function of ``(seed, shard, restart)``, so a
+    crash scenario replays identically in tests and the bound
+    ``restart_cap_s * (1 + jitter)`` always holds.  A successful probe
+    readmission resets the ladder to restart 0.
+
+    ``crash_loop_threshold`` / ``crash_loop_window_s`` parameterize the
+    :class:`CrashLoopBreaker`: that many crashes inside one sliding window
+    trips the breaker, quarantining the shard (no more immediate restarts)
+    until ``cooloff_s`` passes and a half-open restart attempt succeeds.
+
+    ``heartbeat_interval_s`` paces liveness probes of a running worker;
+    ``heartbeat_timeout_s`` bounds each probe; ``heartbeat_misses`` is how
+    many consecutive failed probes declare a *hung* worker (it is then killed
+    and treated as crashed — a hang and a crash look the same to callers).
+    """
+
+    restart_base_s: float = 0.05
+    restart_cap_s: float = 1.0
+    jitter: float = 0.5
+    seed: int = 0
+    crash_loop_threshold: int = 3
+    crash_loop_window_s: float = 5.0
+    cooloff_s: float = 1.0
+    heartbeat_interval_s: float = 0.1
+    heartbeat_timeout_s: float = 1.0
+    heartbeat_misses: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.restart_base_s >= 0:
+            raise InvalidParameterError(
+                f"restart_base_s must be >= 0, got {self.restart_base_s}")
+        if not self.restart_cap_s >= 0:
+            raise InvalidParameterError(
+                f"restart_cap_s must be >= 0, got {self.restart_cap_s}")
+        if not 0 <= self.jitter <= 1:
+            raise InvalidParameterError(
+                f"jitter must be in [0, 1], got {self.jitter}")
+        if self.crash_loop_threshold < 1:
+            raise InvalidParameterError(
+                f"crash_loop_threshold must be >= 1, "
+                f"got {self.crash_loop_threshold}")
+        if not self.crash_loop_window_s > 0:
+            raise InvalidParameterError(
+                f"crash_loop_window_s must be positive, "
+                f"got {self.crash_loop_window_s}")
+        if not self.cooloff_s >= 0:
+            raise InvalidParameterError(
+                f"cooloff_s must be >= 0, got {self.cooloff_s}")
+        if not self.heartbeat_interval_s > 0:
+            raise InvalidParameterError(
+                f"heartbeat_interval_s must be positive, "
+                f"got {self.heartbeat_interval_s}")
+        if not self.heartbeat_timeout_s > 0:
+            raise InvalidParameterError(
+                f"heartbeat_timeout_s must be positive, "
+                f"got {self.heartbeat_timeout_s}")
+        if self.heartbeat_misses < 1:
+            raise InvalidParameterError(
+                f"heartbeat_misses must be >= 1, got {self.heartbeat_misses}")
+
+    def restart_delay_s(self, restart: int, shard: int = 0) -> float:
+        """Delay before restart ``restart`` of ``shard`` — deterministic.
+
+        Same mixing as :meth:`RetryPolicy.backoff_s` (a different prime for
+        the attempt term so supervisor and retry schedules never alias).
+        """
+        exponential = min(self.restart_cap_s,
+                          self.restart_base_s * (2.0 ** restart))
+        mixed = (self.seed * 1_000_003 + shard * 8_191
+                 + restart * 131) & 0xFFFFFFFF
+        unit = random.Random(mixed).random()
+        return exponential * (1.0 + self.jitter * unit)
+
+
+class CrashLoopBreaker:
+    """Sliding-window crash counter: trips after N crashes within the window.
+
+    Pure and time-injected — callers pass ``now`` (any monotonic clock) to
+    :meth:`record_crash`, so the property tests drive it with a virtual
+    clock.  Once tripped it stays tripped until :meth:`reset` (the probe
+    readmission path); crashes recorded while tripped keep it tripped but
+    are not double-counted as new trips.
+    """
+
+    def __init__(self, threshold: int = 3, window_s: float = 5.0) -> None:
+        if threshold < 1:
+            raise InvalidParameterError(
+                f"threshold must be >= 1, got {threshold}")
+        if not window_s > 0:
+            raise InvalidParameterError(
+                f"window_s must be positive, got {window_s}")
+        self.threshold = int(threshold)
+        self.window_s = float(window_s)
+        self._crash_times: "list[float]" = []
+        self._tripped = False
+
+    @property
+    def tripped(self) -> bool:
+        return self._tripped
+
+    def record_crash(self, now: float) -> bool:
+        """Count one crash at time ``now``; returns ``True`` on the trip edge.
+
+        Only crashes within ``window_s`` of ``now`` are retained, so a slow
+        drip of isolated crashes never trips — exactly ``threshold`` crashes
+        inside one window do.
+        """
+        self._crash_times.append(float(now))
+        cutoff = float(now) - self.window_s
+        self._crash_times = [t for t in self._crash_times if t > cutoff]
+        if self._tripped:
+            return False
+        if len(self._crash_times) >= self.threshold:
+            self._tripped = True
+            return True
+        return False
+
+    def reset(self) -> None:
+        """Forget the crash history (a probe readmitted the shard)."""
+        self._crash_times.clear()
+        self._tripped = False
+
+
+@dataclass(frozen=True)
 class HealthPolicy:
     """When failures escalate and how quarantined shards are probed.
 

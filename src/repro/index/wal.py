@@ -67,7 +67,12 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import fsio
-from repro.core.errors import CorruptionError, InvalidParameterError, WalError
+from repro.core.errors import (
+    CorruptionError,
+    InvalidParameterError,
+    StorageFullError,
+    WalError,
+)
 from repro.obs.metrics import get_registry
 
 #: First bytes of every segment file.
@@ -352,12 +357,27 @@ class WriteAheadLog:
             lsn = self._last_lsn + 1
             record = _RECORD_HEADER.pack(
                 lsn, op, len(payload), _record_crc(lsn, op, payload)) + payload
-            fsio.append_bytes(self._handle, record)
+            start = self._handle.tell()
+            try:
+                fsio.append_bytes(self._handle, record)
+            except StorageFullError:
+                # A full volume can land a *short* write.  Truncate back to
+                # the pre-append offset so the tail stays cleanly scannable
+                # right now, not just after the next open's torn-tail pass.
+                self._rewind_failed_append(start)
+                raise
             self._unsynced += len(record)
             if (force_sync or self.fsync == "always"
                     or (self.fsync == "batch"
                         and self._unsynced >= self._batch_bytes)):
-                self._timed_fsync()
+                try:
+                    self._timed_fsync()
+                except StorageFullError:
+                    # The record is in the file but was never acked; drop it
+                    # so on-disk state stays exactly old-or-new.
+                    self._unsynced -= len(record)
+                    self._rewind_failed_append(start)
+                    raise
                 self._unsynced = 0
             # Bump only after the bytes are in the file: if the append (or a
             # simulated crash in the harness) raised above, neither the log
@@ -367,6 +387,22 @@ class WriteAheadLog:
             _WAL_APPENDS.labels(op=_OP_LABELS[op]).inc()
             _WAL_APPEND_BYTES.inc(len(record))
             return lsn
+
+    def _rewind_failed_append(self, start: int) -> None:
+        """Drop a possibly-short append so the tail has no torn record.
+
+        Best effort: shrinking a file needs no free space, but if even the
+        truncate fails, the next open's torn-tail truncation recovers —
+        the record never acked, so nothing is lost either way.
+        """
+        try:
+            fsio.truncate_handle(self._handle, start)
+            self._handle.seek(start)
+        except (OSError, StorageFullError):
+            try:
+                self._handle.seek(0, 2)
+            except OSError:
+                pass
 
     def _timed_fsync(self) -> None:
         """fsync the open segment, feeding the fsync count/latency metrics.

@@ -183,6 +183,17 @@ class MicroBatchQueue:
             return len(self._pending)
 
     @property
+    def drainer_alive(self) -> bool:
+        """Whether the drainer thread is currently running.
+
+        The readiness probe's signal: between a drainer death and the
+        watchdog's restart (or after :meth:`close`) this is ``False``, so an
+        orchestrator stops routing to a queue that cannot serve yet.
+        """
+        with self._condition:
+            return self._drainer.is_alive() and not self._closed
+
+    @property
     def stats(self) -> dict:
         """Coalescing counters: batches served, items, mean/largest batch."""
         with self._condition:

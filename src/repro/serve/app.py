@@ -28,16 +28,21 @@ import operator
 import threading
 from typing import Any
 
+import numpy as np
+
 from repro.core.errors import (
     ReadOnlyIndexError,
     SearchError,
     UnknownIndexError,
     ValidationError,
 )
+from repro.core.normalization import znormalize
 from repro.index.dynamic import DynamicIndex
 from repro.index.search import (
+    FixedThreshold,
     SearchResult,
     SearchStats,
+    stats_to_payload,
     validated_count,
     validated_query,
 )
@@ -369,6 +374,35 @@ class SearchApp:
             payload["writers"] = writers
         return payload
 
+    def readyz(self) -> dict:
+        """Readiness, as distinct from :meth:`healthz`'s liveness.
+
+        A server is *ready* when it can actually answer queries: it is not
+        draining, at least one index is loaded, and every batching index's
+        micro-batch drainer thread is running.  An orchestrator (or the
+        cluster supervisor) routes traffic only to ready workers — a warming
+        process is alive but not yet ready, and a draining one stops being
+        ready before it stops being alive.  The HTTP layer renders unready
+        as 503 so load balancers need no body parsing.
+        """
+        with self._registry_lock:
+            entries = list(self._indexes.values())
+            closed = self._closed
+        reasons = []
+        if closed:
+            reasons.append("the app is draining")
+        if not entries:
+            reasons.append("no index is loaded yet")
+        for entry in entries:
+            if entry.batcher is not None and not entry.batcher.drainer_alive:
+                reasons.append(
+                    f"the micro-batch drainer of index {entry.name!r} "
+                    f"is not running")
+        payload = {"ready": not reasons, "indexes": len(entries)}
+        if reasons:
+            payload["reasons"] = reasons
+        return payload
+
     def stats(self) -> dict:
         """Aggregated serving statistics, per index.
 
@@ -473,6 +507,114 @@ class SearchApp:
             payload["partial"] = bool(result.stats.partial)
             payload["coverage"] = float(result.stats.coverage)
         return payload
+
+    # ------------------------------------------------------ shard worker RPC
+
+    def shard_knn(self, name: str, query, k: int = 1,
+                  timeout_s: "float | None" = None,
+                  threshold: "float | None" = None) -> dict:
+        """One shard's contribution to a cluster scatter (worker-mode RPC).
+
+        Mirrors one in-process scatter attempt
+        (:meth:`repro.index.sharded.ShardedIndex._attempt_knn`) over the
+        wire: clamp ``k`` to the shard's surviving rows, search with the
+        coordinator's forwarded best-so-far ``threshold`` as a frozen
+        pruning bound, and return shard-*local* candidate ids, their raw
+        normalized values, and canonical squared distances (the same
+        einsum the coordinator's merge recomputes, so the offers it makes
+        to its live heap carry identical bits).
+        """
+        entry = self._entry(name)
+        k = validated_count(k)
+        timeout_s = self.config.clamp_timeout(timeout_s)
+        query = validated_query(query, engine_series_length(entry.engine))
+        engine = entry.engine
+        surviving = int(engine.num_surviving)
+        effective_k = min(k, surviving)
+        if effective_k == 0:
+            return {"ids": [], "values": [], "squared": [],
+                    "stats": stats_to_payload(SearchStats(num_series=0)),
+                    "surviving": surviving}
+        shared = FixedThreshold(threshold) if threshold is not None else None
+        result = engine.knn(query, k=effective_k, num_workers=1,
+                            timeout_s=timeout_s, shared_best=shared)
+        values = np.asarray(engine.gather_values(result.indices),
+                            dtype=np.float64)
+        difference = values - znormalize(query)
+        squared = np.einsum("ij,ij->i", difference, difference)
+        entry.search_stats.add(result.stats)
+        entry.observe_query(result.stats)
+        return {
+            "ids": [int(row) for row in result.indices],
+            "values": [[float(value) for value in row] for row in values],
+            "squared": [float(value) for value in squared],
+            "stats": stats_to_payload(result.stats),
+            "surviving": surviving,
+        }
+
+    def shard_knn_batch(self, name: str, queries, k: int = 1,
+                        timeout_s: "float | None" = None) -> dict:
+        """Batched shard RPC: one engine ``knn_batch``, per-query candidates.
+
+        No cross-shard best-so-far (matching the in-process batched
+        scatter); every query's candidates come back with raw values for
+        the coordinator's canonical per-query merge.
+        """
+        entry = self._entry(name)
+        k = validated_count(k)
+        timeout_s = self.config.clamp_timeout(timeout_s)
+        try:
+            matrix = np.asarray(queries, dtype=np.float64)
+        except (TypeError, ValueError) as error:
+            raise ValidationError(f"queries are not numeric: {error}") from None
+        expected = engine_series_length(entry.engine)
+        if matrix.ndim != 2 or matrix.shape[1] != expected:
+            raise ValidationError(
+                f"queries must be a 2-D matrix of series of length "
+                f"{expected}, got shape {matrix.shape}")
+        if not np.isfinite(matrix).all():
+            raise ValidationError("queries contain NaN or infinite values")
+        engine = entry.engine
+        surviving = int(engine.num_surviving)
+        effective_k = min(k, surviving)
+        if effective_k == 0:
+            empty = {"ids": [], "values": []}
+            return {"results": [dict(empty) for _ in range(matrix.shape[0])],
+                    "stats": [stats_to_payload(SearchStats(num_series=0))
+                              for _ in range(matrix.shape[0])],
+                    "surviving": surviving}
+        results = engine.knn_batch(matrix, k=effective_k, num_workers=1,
+                                   timeout_s=timeout_s)
+        payload = []
+        stats = []
+        for result in results:
+            values = np.asarray(engine.gather_values(result.indices),
+                                dtype=np.float64)
+            payload.append({
+                "ids": [int(row) for row in result.indices],
+                "values": [[float(value) for value in row]
+                           for row in values],
+            })
+            stats.append(stats_to_payload(result.stats))
+            entry.search_stats.add(result.stats)
+            entry.observe_query(result.stats)
+        return {"results": payload, "stats": stats, "surviving": surviving}
+
+    def shard_probe(self, name: str) -> dict:
+        """Answer a shard-local 1-NN probe (the cluster readmission check).
+
+        Runs the same probe an in-process
+        :meth:`~repro.index.sharded.ShardedIndex.probe_shard` would — a real
+        1-NN over the shard's own first row — so a passing probe means the
+        worker actually serves, not merely accepts connections.
+        """
+        entry = self._entry(name)
+        engine = entry.engine
+        surviving = int(engine.num_surviving)
+        if surviving > 0:
+            probe_query = np.asarray(engine.tree.dataset.values)[0]
+            engine.knn(probe_query, k=1, num_workers=1)
+        return {"ok": True, "surviving": surviving}
 
     def insert(self, name: str, series) -> dict:
         """Buffer one series (1-D) or a batch (2-D) into a writable index."""

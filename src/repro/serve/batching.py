@@ -78,6 +78,11 @@ class KnnBatcher:
         """Requests currently queued behind the drainer."""
         return self._queue.pending_depth
 
+    @property
+    def drainer_alive(self) -> bool:
+        """Whether the underlying micro-batch drainer thread is running."""
+        return self._queue.drainer_alive
+
     def submit(self, query: np.ndarray, k: int, timeout_s: "float | None",
                wait_timeout: "float | None" = None):
         """Answer one query through the shared queue; blocks until its batch ran.

@@ -70,6 +70,14 @@ class ServeConfig:
         (``"trace": true`` in the request body); disabling it makes the flag
         a no-op so a public deployment cannot be asked to pay the tracing
         cost.  Slow-query logging is independent of this switch.
+    worker_mode:
+        Serve as a *shard worker* of a process-per-shard cluster
+        (:mod:`repro.cluster`): the shard RPC routes
+        (``/{index}/shard_knn``, ``shard_knn_batch``, ``shard_probe``) are
+        enabled and the public write routes are refused — shard-local writes
+        would desync the coordinator's global id maps, so writes must go
+        through the coordinator.  Off by default: a standalone server never
+        exposes the shard-local RPC surface.
     """
 
     host: str = "127.0.0.1"
@@ -88,6 +96,7 @@ class ServeConfig:
     slow_query_s: "float | None" = None
     slow_query_log_path: "str | None" = None
     tracing: bool = True
+    worker_mode: bool = False
 
     def __post_init__(self) -> None:
         if self.max_k < 1:

@@ -25,6 +25,7 @@ from repro.core.errors import (
     SearchError,
     ShardError,
     ShutdownError,
+    StorageFullError,
     UnknownIndexError,
     ValidationError,
     WalError,
@@ -51,6 +52,7 @@ STATUS_MAP: "tuple[tuple[type[ReproError], int], ...]" = (
     (OverloadedError, 503),       # backlog bound hit: shed load, Retry-After
     (DrainerError, 500),          # batch drainer died; queue restarted it
     (ShutdownError, 503),         # server is draining
+    (StorageFullError, 507),      # volume out of space; state is old-or-new
     (ReproError, 500),            # any future library error: fail safe
 )
 

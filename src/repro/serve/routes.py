@@ -31,15 +31,26 @@ from __future__ import annotations
 
 import json
 import math
+import signal as signal_module
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import unquote, urlsplit
 
-from repro.core.errors import OverloadedError, ReproError, ValidationError
+from repro.core.errors import (
+    OverloadedError,
+    ReadOnlyIndexError,
+    ReproError,
+    ValidationError,
+)
 from repro.serve.app import SearchApp
 from repro.serve.errors import error_payload, status_for
 
 _POST_ACTIONS = ("knn", "insert", "delete", "compact")
+#: Writes are refused on a worker: a shard-local insert/delete/compact would
+#: desync the coordinator's global id maps.
+_WRITE_ACTIONS = ("insert", "delete", "compact")
+#: Shard RPC routes, enabled only under :attr:`ServeConfig.worker_mode`.
+_WORKER_ACTIONS = ("shard_knn", "shard_knn_batch", "shard_probe")
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -145,6 +156,11 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if path == "/healthz":
                 self._respond(200, self.app.healthz())
+            elif path == "/readyz":
+                payload = self.app.readyz()
+                # 503 until ready: load balancers and the cluster supervisor
+                # route on the status code alone.
+                self._respond(200 if payload["ready"] else 503, payload)
             elif path == "/stats":
                 self._respond(200, self.app.stats())
             elif path in ("/indexes", "/"):
@@ -157,8 +173,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._respond(200, self.app.slow_queries())
             else:
                 self._not_found(f"no GET route {path!r}; "
-                                f"try /healthz, /stats, /indexes, /metrics "
-                                f"or /slow_queries")
+                                f"try /healthz, /readyz, /stats, /indexes, "
+                                f"/metrics or /slow_queries")
         except Exception as error:  # noqa: BLE001 - rendered via status map
             self._respond_error(error)
 
@@ -170,20 +186,37 @@ class _Handler(BaseHTTPRequestHandler):
             self.server.request_finished()
 
     def _handle_post(self) -> None:
+        worker_mode = self.app.config.worker_mode
+        actions = _POST_ACTIONS + (_WORKER_ACTIONS if worker_mode else ())
         parts = [part for part in urlsplit(self.path).path.split("/") if part]
-        if len(parts) != 2 or parts[1] not in _POST_ACTIONS:
+        if len(parts) != 2 or parts[1] not in actions:
             self._not_found(
                 f"no POST route {self.path!r}; expected /<index>/<action> "
-                f"with action in {list(_POST_ACTIONS)}")
+                f"with action in {list(actions)}")
             return
         name, action = unquote(parts[0]), parts[1]
         try:
+            if worker_mode and action in _WRITE_ACTIONS:
+                raise ReadOnlyIndexError(
+                    f"this server is a shard worker; {action} must go "
+                    f"through the cluster coordinator")
             body = self._read_body()
             if action == "knn":
                 payload = self.app.knn(name, body.get("query"),
                                        k=body.get("k", 1),
                                        timeout_s=body.get("timeout_s"),
                                        trace=bool(body.get("trace", False)))
+            elif action == "shard_knn":
+                payload = self.app.shard_knn(
+                    name, body.get("query"), k=body.get("k", 1),
+                    timeout_s=body.get("timeout_s"),
+                    threshold=body.get("threshold"))
+            elif action == "shard_knn_batch":
+                payload = self.app.shard_knn_batch(
+                    name, body.get("queries"), k=body.get("k", 1),
+                    timeout_s=body.get("timeout_s"))
+            elif action == "shard_probe":
+                payload = self.app.shard_probe(name)
             elif action == "insert":
                 payload = self.app.insert(name, body.get("series"))
             elif action == "delete":
@@ -298,6 +331,41 @@ class IndexServer:
         self._httpd.server_close()
         self._httpd.wait_idle(self.app.config.shutdown_drain_s)
         self.app.close()
+
+    def install_signal_handlers(
+            self, signals=(signal_module.SIGTERM, signal_module.SIGINT),
+    ) -> threading.Event:
+        """Route SIGTERM/SIGINT into the graceful drain; returns the trigger.
+
+        The handler only sets an event — a signal handler must not run the
+        multi-second drain itself (it interrupts arbitrary bytecode, and
+        :meth:`stop` takes locks the interrupted frame may hold).  The
+        returned event is what :meth:`serve_until_signal` (or a caller's own
+        main loop) waits on before calling :meth:`stop`.  Must be called
+        from the main thread (a CPython signal-API constraint).
+        """
+        triggered = threading.Event()
+
+        def _handle(signum, frame):  # noqa: ARG001 - stdlib signature
+            triggered.set()
+
+        for signum in signals:
+            signal_module.signal(signum, _handle)
+        return triggered
+
+    def serve_until_signal(self) -> None:
+        """Serve until SIGTERM/SIGINT, then drain gracefully and return.
+
+        The bounded drain is the same one :meth:`stop` always runs: stop
+        accepting, finish in-flight requests (up to ``shutdown_drain_s``),
+        close the queues.  A supervised worker built on this exits 0 on
+        SIGTERM — which is how the cluster supervisor tells a deliberate
+        stop from a crash.
+        """
+        triggered = self.install_signal_handlers()
+        self.start()
+        triggered.wait()
+        self.stop()
 
     def __enter__(self) -> "IndexServer":
         return self.start()

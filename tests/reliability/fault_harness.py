@@ -12,10 +12,16 @@ either the old or the new complete state, never a torn mix.
 
 from __future__ import annotations
 
+import errno
 import time
 
 from repro.core import fsio
 from repro.core.errors import CorruptionError
+
+#: Operations that still succeed on a full volume — deleting and truncating
+#: *free* space.  ``disk_full_at(..., persistent=True)`` spares these, which
+#: is what lets the commit protocols' cleanup paths run under the fault.
+_SPACE_FREEING_OPS = frozenset({"unlink", "rmtree", "truncate"})
 
 
 class SimulatedCrash(BaseException):
@@ -71,6 +77,39 @@ class FaultInjector:
             if remaining == 0:
                 raise SimulatedCrash(f"crashed before {operation} of {path}")
             remaining -= 1
+
+        previous = fsio.set_hook(bomb)
+        try:
+            return action()
+        finally:
+            fsio.set_hook(previous)
+
+    def disk_full_at(self, point: int, action, *, persistent: bool = False):
+        """Run ``action`` but fail effect number ``point`` with ``ENOSPC``.
+
+        The raw :class:`OSError` is raised from the hook *inside* the fsio
+        seam, so it takes exactly the translation path a real full volume
+        takes (surfacing as a typed ``StorageFullError``).  With
+        ``persistent=True`` the volume *stays* full — every later effect
+        fails too, except the space-freeing ones (:data:`_SPACE_FREEING_OPS`),
+        which is how cleanup paths behave on a genuinely full disk.  The
+        default one-shot mode models space freed immediately after the
+        failure (retry-after-free scenarios).
+        """
+        remaining = point
+
+        def bomb(operation: str, path: str) -> None:
+            nonlocal remaining
+            if remaining > 0:
+                remaining -= 1
+                return
+            if remaining < 0:
+                return
+            if persistent and operation in _SPACE_FREEING_OPS:
+                return
+            if not persistent:
+                remaining = -1
+            raise OSError(errno.ENOSPC, "No space left on device")
 
         previous = fsio.set_hook(bomb)
         try:

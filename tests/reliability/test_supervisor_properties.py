@@ -1,0 +1,112 @@
+"""Property tests for the supervision policies (pure, time-injected pieces).
+
+* :meth:`SupervisorPolicy.restart_delay_s` is a **pure function** of
+  ``(seed, shard, restart)``: equal inputs give bit-equal delays (crash
+  scenarios replay identically in tests), and every delay respects the
+  ``restart_cap_s * (1 + jitter)`` bound and the monotone pre-jitter ladder.
+* :class:`CrashLoopBreaker` trips after **exactly** ``threshold`` crashes
+  inside one sliding window — never before, never twice without a reset —
+  and a crash drip slower than the window never trips it.
+* :meth:`reset` (what a probe readmission calls) returns the breaker to a
+  clean slate: the ladder starts over.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.shard_health import CrashLoopBreaker, SupervisorPolicy
+
+policies = st.builds(
+    SupervisorPolicy,
+    restart_base_s=st.floats(min_value=0.001, max_value=0.5),
+    restart_cap_s=st.floats(min_value=0.001, max_value=5.0),
+    jitter=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+
+
+class TestRestartBackoffDeterminism:
+    @settings(max_examples=200, deadline=None)
+    @given(policy=policies, restart=st.integers(min_value=0, max_value=40),
+           shard=st.integers(min_value=0, max_value=64))
+    def test_deterministic_and_bounded(self, policy, restart, shard):
+        first = policy.restart_delay_s(restart, shard)
+        second = policy.restart_delay_s(restart, shard)
+        assert first == second  # bit-equal: pure function of the inputs
+        assert 0.0 <= first <= policy.restart_cap_s * (1.0 + policy.jitter)
+
+    @settings(max_examples=100, deadline=None)
+    @given(policy=policies, shard=st.integers(min_value=0, max_value=8))
+    def test_prejitter_ladder_is_monotone_to_the_cap(self, policy, shard):
+        import random
+
+        # Strip the jitter term to observe the raw exponential ladder.
+        def raw(restart: int) -> float:
+            mixed = (policy.seed * 1_000_003 + shard * 8_191
+                     + restart * 131) & 0xFFFFFFFF
+            unit = random.Random(mixed).random()
+            return policy.restart_delay_s(restart, shard) \
+                / (1.0 + policy.jitter * unit)
+
+        ladder = [raw(restart) for restart in range(12)]
+        for earlier, later in zip(ladder, ladder[1:]):
+            assert later >= earlier * (1 - 1e-9)
+        assert max(ladder) <= policy.restart_cap_s * (1 + 1e-9)
+
+    def test_distinct_shards_get_distinct_jitter(self):
+        policy = SupervisorPolicy(jitter=1.0, seed=7)
+        delays = {policy.restart_delay_s(3, shard) for shard in range(16)}
+        # Not a hard guarantee per pair, but with full jitter the mixing
+        # must not collapse the fleet onto one synchronized restart time.
+        assert len(delays) > 1
+
+
+class TestCrashLoopBreaker:
+    @settings(max_examples=100, deadline=None)
+    @given(threshold=st.integers(min_value=1, max_value=10),
+           window=st.floats(min_value=0.5, max_value=100.0))
+    def test_trips_after_exactly_threshold_in_window(self, threshold, window):
+        breaker = CrashLoopBreaker(threshold, window)
+        now = 1000.0
+        step = window / (threshold + 1)  # all crashes inside one window
+        for crash in range(threshold - 1):
+            assert breaker.record_crash(now + crash * step) is False
+            assert breaker.tripped is False
+        assert breaker.record_crash(now + (threshold - 1) * step) is True
+        assert breaker.tripped is True
+
+    @settings(max_examples=100, deadline=None)
+    @given(threshold=st.integers(min_value=2, max_value=10),
+           window=st.floats(min_value=0.5, max_value=100.0))
+    def test_slow_drip_never_trips(self, threshold, window):
+        breaker = CrashLoopBreaker(threshold, window)
+        now = 1000.0
+        for crash in range(threshold * 3):
+            # Each crash ages the previous ones out of the window first.
+            assert breaker.record_crash(now + crash * window * 1.01) is False
+        assert breaker.tripped is False
+
+    def test_trip_edge_fires_once_until_reset(self):
+        breaker = CrashLoopBreaker(2, 10.0)
+        assert breaker.record_crash(0.0) is False
+        assert breaker.record_crash(1.0) is True
+        # Still tripped: further crashes must not re-announce the edge.
+        assert breaker.record_crash(2.0) is False
+        assert breaker.tripped is True
+        breaker.reset()
+        assert breaker.tripped is False
+        # A clean slate: the same sequence trips at the same point again.
+        assert breaker.record_crash(100.0) is False
+        assert breaker.record_crash(101.0) is True
+
+    @settings(max_examples=50, deadline=None)
+    @given(threshold=st.integers(min_value=1, max_value=6),
+           times=st.lists(st.floats(min_value=0.0, max_value=1000.0),
+                          min_size=0, max_size=40))
+    def test_trip_edge_is_announced_at_most_once_per_reset(self, threshold,
+                                                           times):
+        breaker = CrashLoopBreaker(threshold, 5.0)
+        edges = sum(1 for t in sorted(times) if breaker.record_crash(t))
+        assert edges <= 1
